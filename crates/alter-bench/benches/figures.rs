@@ -1,0 +1,14 @@
+//! Regenerates the paper's Figures 5-13 (run via `cargo bench`).
+//!
+//! Pass `--quick` through cargo bench arguments to use inference-scale
+//! inputs: `cargo bench --bench figures -- --quick`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        alter_workloads::Scale::Inference
+    } else {
+        alter_workloads::Scale::Paper
+    };
+    println!("{}", alter_bench::figure5());
+    println!("{}", alter_bench::figures(scale));
+}

@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks of the runtime primitives: snapshot
+//! establishment, instrumented access, transaction finish, conflict
+//! validation and commit. These are the per-round costs the virtual-time
+//! model charges; measuring them grounds the cost-model coefficients.
+
+use alter_heap::{AccessSet, Heap, IdReservation, ObjData, TrackMode, Tx};
+use alter_runtime::{run_loop, ConflictPolicy, Driver, ExecParams, RedVars};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut heap = Heap::new();
+    for _ in 0..10_000 {
+        heap.alloc(ObjData::scalar_i64(1));
+    }
+    c.bench_function("snapshot_10k_slots", |b| {
+        b.iter(|| black_box(heap.snapshot()))
+    });
+}
+
+fn bench_instrumented_access(c: &mut Criterion) {
+    let mut heap = Heap::new();
+    let xs = heap.alloc(ObjData::zeros_f64(4096));
+    let snap = heap.snapshot();
+    c.bench_function("tracked_element_reads_4k", |b| {
+        b.iter(|| {
+            let ids = IdReservation::new(heap.high_water(), 0, 1, 64);
+            let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids, u64::MAX);
+            let mut acc = 0.0;
+            for i in 0..4096 {
+                acc += tx.read_f64(xs, i);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("untracked_element_reads_4k", |b| {
+        b.iter(|| {
+            let ids = IdReservation::new(heap.high_water(), 0, 1, 64);
+            let mut tx = Tx::new(&snap, TrackMode::WritesOnly, ids, u64::MAX);
+            let mut acc = 0.0;
+            for i in 0..4096 {
+                acc += tx.read_f64(xs, i);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("range_read_4k", |b| {
+        b.iter(|| {
+            let ids = IdReservation::new(heap.high_water(), 0, 1, 64);
+            let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids, u64::MAX);
+            black_box(tx.with_f64s(xs, 0, 4096, |s| s.iter().sum::<f64>()))
+        })
+    });
+}
+
+fn bench_conflict_validation(c: &mut Criterion) {
+    let mut a = AccessSet::new();
+    let mut b_set = AccessSet::new();
+    for i in 0..1000u32 {
+        a.insert(alter_heap::ObjId::from_index(i), 0, 8);
+        b_set.insert(alter_heap::ObjId::from_index(i + 1000), 0, 8);
+    }
+    c.bench_function("disjoint_setcmp_1k_objects", |bch| {
+        bch.iter(|| black_box(a.overlaps(&b_set)))
+    });
+}
+
+fn bench_doall_loop(c: &mut Criterion) {
+    c.bench_function("doall_loop_4k_iters", |b| {
+        b.iter(|| {
+            let mut heap = Heap::new();
+            let xs = heap.alloc(ObjData::zeros_f64(4096));
+            let mut reds = RedVars::new();
+            let mut params = ExecParams::new(4, 64);
+            params.conflict = ConflictPolicy::None;
+            run_loop(
+                &mut heap,
+                &mut reds,
+                &mut alter_runtime::RangeSpace::new(0, 4096),
+                &params,
+                Driver::sequential(),
+                |ctx, i| ctx.tx.write_f64(xs, i as usize, 1.0),
+            )
+            .unwrap();
+            black_box(heap.digest())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot,
+    bench_instrumented_access,
+    bench_conflict_validation,
+    bench_doall_loop
+);
+criterion_main!(benches);

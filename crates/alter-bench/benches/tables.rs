@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table 3 and Table 4 (run via `cargo bench`).
+fn main() {
+    println!("{}", alter_bench::table3());
+    println!("{}", alter_bench::table4());
+    println!("{}", alter_bench::chunk_tuning());
+    println!(
+        "{}",
+        alter_bench::convergence_facts(alter_workloads::Scale::Inference)
+    );
+}

@@ -1,0 +1,11 @@
+//! Prints Figures 5-13. `--quick` uses inference-scale inputs.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        alter_workloads::Scale::Inference
+    } else {
+        alter_workloads::Scale::Paper
+    };
+    println!("{}", alter_bench::figure5());
+    println!("{}", alter_bench::figures(scale));
+}

@@ -1,0 +1,10 @@
+//! Prints Table 3, Table 4 and the convergence facts.
+fn main() {
+    println!("{}", alter_bench::table3());
+    println!("{}", alter_bench::table4());
+    println!("{}", alter_bench::chunk_tuning());
+    println!(
+        "{}",
+        alter_bench::convergence_facts(alter_workloads::Scale::Inference)
+    );
+}

@@ -1,0 +1,67 @@
+//! Element types storable in ALTER collections.
+
+use alter_heap::ObjId;
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for i64 {}
+    impl Sealed for alter_heap::ObjId {}
+}
+
+/// A value that can live in an ALTER collection. Sealed: the collections
+/// encode elements as single 64-bit heap words, so only `f64`, `i64` and
+/// [`ObjId`] qualify.
+pub trait Element: private::Sealed + Copy {
+    /// Encodes the value as one `i64` heap word.
+    fn encode(self) -> i64;
+    /// Decodes a heap word written by [`Element::encode`].
+    fn decode(word: i64) -> Self;
+}
+
+impl Element for i64 {
+    fn encode(self) -> i64 {
+        self
+    }
+    fn decode(word: i64) -> Self {
+        word
+    }
+}
+
+impl Element for f64 {
+    fn encode(self) -> i64 {
+        self.to_bits() as i64
+    }
+    fn decode(word: i64) -> Self {
+        f64::from_bits(word as u64)
+    }
+}
+
+impl Element for ObjId {
+    fn encode(self) -> i64 {
+        self.to_i64()
+    }
+    fn decode(word: i64) -> Self {
+        ObjId::from_i64(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(i64::decode(42i64.encode()), 42);
+        assert_eq!(f64::decode(2.5f64.encode()), 2.5);
+        assert_eq!(
+            f64::decode((-0.0f64).encode()).to_bits(),
+            (-0.0f64).to_bits()
+        );
+        let id = ObjId::from_index(7);
+        assert_eq!(ObjId::decode(id.encode()), id);
+        // NaN payloads survive the bit-level encoding.
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(f64::decode(nan.encode()).to_bits(), nan.to_bits());
+    }
+}

@@ -1,0 +1,242 @@
+//! `AlterHashMap` — a bucketized hash map in the transactional heap,
+//! generalizing [`crate::AlterHashSet`] to key → value associations.
+//!
+//! Layout mirrors the set: a fixed directory of bucket allocations, each
+//! holding `(key, value)` word pairs plus an overflow link, so two
+//! insertions conflict exactly when they hash to the same bucket.
+
+use crate::element::Element;
+use alter_heap::{Heap, ObjData, ObjId};
+use alter_runtime::TxCtx;
+use std::marker::PhantomData;
+
+const NIL: i64 = -1;
+// Bucket layout: [0] = count, [1] = overflow bucket id,
+// [2..2+2*cap] = interleaved (key, value) pairs.
+const COUNT: usize = 0;
+const OVERFLOW: usize = 1;
+const PAIRS: usize = 2;
+
+/// Deterministic 64-bit mix (splitmix64 finalizer).
+fn mix(key: i64) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A hash map from `i64` keys to [`Element`] values, stored in the
+/// transactional heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlterHashMap<V> {
+    directory: ObjId,
+    buckets: usize,
+    bucket_cap: usize,
+    _marker: PhantomData<V>,
+}
+
+impl<V: Element> AlterHashMap<V> {
+    /// Creates a map with `buckets` buckets of `bucket_cap` pairs each
+    /// (clamped to at least 1; overflow chains extend capacity).
+    pub fn new(heap: &mut Heap, buckets: usize, bucket_cap: usize) -> Self {
+        let buckets = buckets.max(1);
+        let bucket_cap = bucket_cap.max(1);
+        let ids: Vec<i64> = (0..buckets)
+            .map(|_| {
+                let mut words = vec![0i64; PAIRS + 2 * bucket_cap];
+                words[OVERFLOW] = NIL;
+                heap.alloc(ObjData::I64(words)).to_i64()
+            })
+            .collect();
+        let directory = heap.alloc(ObjData::I64(ids));
+        AlterHashMap {
+            directory,
+            buckets,
+            bucket_cap,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of top-level buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets
+    }
+
+    fn bucket_of(&self, key: i64) -> usize {
+        (mix(key) % self.buckets as u64) as usize
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    pub fn insert(&self, ctx: &mut TxCtx<'_>, key: i64, value: V) -> Option<V> {
+        let mut bucket = ObjId::from_i64(ctx.tx.read_i64(self.directory, self.bucket_of(key)));
+        loop {
+            let cap = (ctx.tx.len(bucket) - PAIRS) / 2;
+            let (found, count, overflow) = ctx.tx.with_i64s(bucket, 0, PAIRS + 2 * cap, |w| {
+                let count = w[COUNT] as usize;
+                let found = (0..count).find(|&s| w[PAIRS + 2 * s] == key);
+                (found, count, w[OVERFLOW])
+            });
+            if let Some(slot) = found {
+                let old = V::decode(ctx.tx.read_i64(bucket, PAIRS + 2 * slot + 1));
+                ctx.tx
+                    .write_i64(bucket, PAIRS + 2 * slot + 1, value.encode());
+                return Some(old);
+            }
+            if count < cap {
+                ctx.tx.write_i64(bucket, PAIRS + 2 * count, key);
+                ctx.tx
+                    .write_i64(bucket, PAIRS + 2 * count + 1, value.encode());
+                ctx.tx.write_i64(bucket, COUNT, count as i64 + 1);
+                return None;
+            }
+            if overflow == NIL {
+                let mut words = vec![0i64; PAIRS + 2 * cap];
+                words[COUNT] = 1;
+                words[OVERFLOW] = NIL;
+                words[PAIRS] = key;
+                words[PAIRS + 1] = value.encode();
+                let fresh = ctx.tx.alloc(ObjData::I64(words));
+                ctx.tx.write_i64(bucket, OVERFLOW, fresh.to_i64());
+                return None;
+            }
+            bucket = ObjId::from_i64(overflow);
+        }
+    }
+
+    /// Looks `key` up inside a transaction.
+    pub fn get(&self, ctx: &mut TxCtx<'_>, key: i64) -> Option<V> {
+        let mut bucket = ObjId::from_i64(ctx.tx.read_i64(self.directory, self.bucket_of(key)));
+        loop {
+            let cap = (ctx.tx.len(bucket) - PAIRS) / 2;
+            let (hit, overflow) = ctx.tx.with_i64s(bucket, 0, PAIRS + 2 * cap, |w| {
+                let count = w[COUNT] as usize;
+                let hit = (0..count)
+                    .find(|&s| w[PAIRS + 2 * s] == key)
+                    .map(|s| w[PAIRS + 2 * s + 1]);
+                (hit, w[OVERFLOW])
+            });
+            if let Some(word) = hit {
+                return Some(V::decode(word));
+            }
+            if overflow == NIL {
+                return None;
+            }
+            bucket = ObjId::from_i64(overflow);
+        }
+    }
+
+    /// Applies `f` to the value under `key`, inserting `default` first if
+    /// the key is absent — the transactional upsert every counting loop
+    /// wants (e.g. word histograms).
+    pub fn update(&self, ctx: &mut TxCtx<'_>, key: i64, default: V, f: impl FnOnce(V) -> V) {
+        let cur = self.get(ctx, key).unwrap_or(default);
+        self.insert(ctx, key, f(cur));
+    }
+
+    /// Number of entries (sequential code).
+    pub fn seq_len(&self, heap: &Heap) -> usize {
+        let mut total = 0;
+        for b in 0..self.buckets {
+            let mut bucket = ObjId::from_i64(heap.get(self.directory).i64s()[b]);
+            loop {
+                let w = heap.get(bucket).i64s();
+                total += w[COUNT] as usize;
+                if w[OVERFLOW] == NIL {
+                    break;
+                }
+                bucket = ObjId::from_i64(w[OVERFLOW]);
+            }
+        }
+        total
+    }
+
+    /// All `(key, value)` pairs in deterministic (bucket, chain, slot)
+    /// order (sequential code).
+    pub fn seq_pairs(&self, heap: &Heap) -> Vec<(i64, V)> {
+        let mut out = Vec::new();
+        for b in 0..self.buckets {
+            let mut bucket = ObjId::from_i64(heap.get(self.directory).i64s()[b]);
+            loop {
+                let w = heap.get(bucket).i64s();
+                let count = w[COUNT] as usize;
+                for s in 0..count {
+                    out.push((w[PAIRS + 2 * s], V::decode(w[PAIRS + 2 * s + 1])));
+                }
+                if w[OVERFLOW] == NIL {
+                    break;
+                }
+                bucket = ObjId::from_i64(w[OVERFLOW]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alter_runtime::{Driver, ExecParams, LoopBuilder};
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_update_roundtrip() {
+        let mut heap = Heap::new();
+        let map: AlterHashMap<f64> = AlterHashMap::new(&mut heap, 8, 2);
+        let params = ExecParams::new(1, 1);
+        LoopBuilder::new(&params)
+            .range(0, 1)
+            .run(&mut heap, Driver::sequential(), |ctx, _| {
+                assert_eq!(map.get(ctx, 7), None);
+                assert_eq!(map.insert(ctx, 7, 1.5), None);
+                assert_eq!(map.get(ctx, 7), Some(1.5));
+                assert_eq!(map.insert(ctx, 7, 2.5), Some(1.5));
+                map.update(ctx, 7, 0.0, |v| v * 2.0);
+                map.update(ctx, 9, 10.0, |v| v + 1.0);
+                assert_eq!(map.get(ctx, 7), Some(5.0));
+                assert_eq!(map.get(ctx, 9), Some(11.0));
+            })
+            .unwrap();
+        assert_eq!(map.seq_len(&heap), 2);
+    }
+
+    #[test]
+    fn parallel_histogram_matches_std() {
+        // A word-count-style loop: every iteration bumps its key's counter.
+        let keys: Vec<i64> = (0..160).map(|i| (i * 13) % 23).collect();
+        let mut heap = Heap::new();
+        let map: AlterHashMap<i64> = AlterHashMap::new(&mut heap, 64, 2);
+        let params = ExecParams::new(4, 2);
+        let keys2 = keys.clone();
+        let stats = LoopBuilder::new(&params)
+            .range(0, keys.len() as u64)
+            .run(&mut heap, Driver::sequential(), move |ctx, i| {
+                map.update(ctx, keys2[i as usize], 0, |c| c + 1);
+            })
+            .unwrap();
+        let mut model: HashMap<i64, i64> = HashMap::new();
+        for k in &keys {
+            *model.entry(*k).or_insert(0) += 1;
+        }
+        let got: HashMap<i64, i64> = map.seq_pairs(&heap).into_iter().collect();
+        assert_eq!(got, model);
+        assert!(stats.retries() > 0, "same-key updates must conflict");
+    }
+
+    #[test]
+    fn overflow_chains_grow() {
+        let mut heap = Heap::new();
+        let map: AlterHashMap<i64> = AlterHashMap::new(&mut heap, 1, 1);
+        let params = ExecParams::new(1, 8);
+        LoopBuilder::new(&params)
+            .range(0, 8)
+            .run(&mut heap, Driver::sequential(), |ctx, i| {
+                map.insert(ctx, i as i64, i as i64 * 100);
+            })
+            .unwrap();
+        assert_eq!(map.seq_len(&heap), 8);
+        let mut pairs = map.seq_pairs(&heap);
+        pairs.sort_unstable();
+        assert_eq!(pairs[3], (3, 300));
+        assert_eq!(map.bucket_count(), 1);
+    }
+}

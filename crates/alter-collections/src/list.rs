@@ -1,0 +1,312 @@
+//! `AlterList` — the paper's ALTERList: a doubly linked list whose nodes
+//! are heap allocations, so that iterating over it inside a parallel loop
+//! behaves like iterating over an induction variable (§4.1).
+//!
+//! The key operation is [`AlterList::node_ids`]: capturing the node
+//! sequence from the committed state *before* the loop turns the list
+//! cursor into a plain iteration space, which is exactly how the paper's
+//! collection classes let loops over linked structures be parallelized
+//! (AggloClust, BarnesHut). Concurrent structural mutations (removals,
+//! insertions) are ordinary instrumented writes to node objects, so they
+//! conflict — and retry — precisely when two iterations touch adjacent
+//! nodes.
+
+use crate::element::Element;
+use alter_heap::{Heap, ObjData, ObjId};
+use alter_runtime::TxCtx;
+use std::marker::PhantomData;
+
+const NIL: i64 = -1;
+
+// Node layout: [0] = encoded value, [1] = next id, [2] = prev id.
+const VAL: usize = 0;
+const NEXT: usize = 1;
+const PREV: usize = 2;
+
+// Sentinel layout: [0] = head id, [1] = tail id.
+const HEAD: usize = 0;
+const TAIL: usize = 1;
+
+/// A doubly linked list in the transactional heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlterList<T> {
+    sentinel: ObjId,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Element> AlterList<T> {
+    /// Creates an empty list.
+    pub fn new(heap: &mut Heap) -> Self {
+        let sentinel = heap.alloc(ObjData::I64(vec![NIL, NIL]));
+        AlterList {
+            sentinel,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Builds a list from `items` in order.
+    pub fn from_iter(heap: &mut Heap, items: impl IntoIterator<Item = T>) -> Self {
+        let list = Self::new(heap);
+        for v in items {
+            list.push_back(heap, v);
+        }
+        list
+    }
+
+    /// The sentinel allocation (for diagnostics).
+    pub fn sentinel(&self) -> ObjId {
+        self.sentinel
+    }
+
+    // ----- sequential operations -----
+
+    /// Appends `v` (sequential code).
+    pub fn push_back(&self, heap: &mut Heap, v: T) -> ObjId {
+        let tail = heap.get(self.sentinel).i64s()[TAIL];
+        let node = heap.alloc(ObjData::I64(vec![v.encode(), NIL, tail]));
+        if tail == NIL {
+            heap.get_mut(self.sentinel).i64s_mut()[HEAD] = node.to_i64();
+        } else {
+            heap.get_mut(ObjId::from_i64(tail)).i64s_mut()[NEXT] = node.to_i64();
+        }
+        heap.get_mut(self.sentinel).i64s_mut()[TAIL] = node.to_i64();
+        node
+    }
+
+    /// Captures the node ids in list order from the committed state — the
+    /// induction-variable view a parallel loop iterates over (feed this to
+    /// [`alter_runtime::SeqSpace`] or `LoopBuilder::items`).
+    pub fn node_ids(&self, heap: &Heap) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = heap.get(self.sentinel).i64s()[HEAD];
+        while cur != NIL {
+            let id = ObjId::from_i64(cur);
+            out.push(u64::from(id.index()));
+            cur = heap.get(id).i64s()[NEXT];
+        }
+        out
+    }
+
+    /// The values in list order (sequential code).
+    pub fn seq_values(&self, heap: &Heap) -> Vec<T> {
+        self.node_ids(heap)
+            .into_iter()
+            .map(|raw| T::decode(heap.get(ObjId::from_index(raw as u32)).i64s()[VAL]))
+            .collect()
+    }
+
+    /// Number of elements (walks the list; sequential code).
+    pub fn len(&self, heap: &Heap) -> usize {
+        self.node_ids(heap).len()
+    }
+
+    /// Whether the list is empty (sequential code).
+    pub fn is_empty(&self, heap: &Heap) -> bool {
+        heap.get(self.sentinel).i64s()[HEAD] == NIL
+    }
+
+    /// Removes a node from sequential code.
+    pub fn seq_remove(&self, heap: &mut Heap, node: ObjId) {
+        let words = heap.get(node).i64s().to_vec();
+        let (next, prev) = (words[NEXT], words[PREV]);
+        if prev == NIL {
+            heap.get_mut(self.sentinel).i64s_mut()[HEAD] = next;
+        } else {
+            heap.get_mut(ObjId::from_i64(prev)).i64s_mut()[NEXT] = next;
+        }
+        if next == NIL {
+            heap.get_mut(self.sentinel).i64s_mut()[TAIL] = prev;
+        } else {
+            heap.get_mut(ObjId::from_i64(next)).i64s_mut()[PREV] = prev;
+        }
+        heap.free(node);
+    }
+
+    // ----- transactional operations -----
+
+    /// Whether `node` is still live in this transaction's view (an
+    /// iteration retried after a concurrent removal should check this and
+    /// skip).
+    pub fn is_node_live(&self, ctx: &mut TxCtx<'_>, node: ObjId) -> bool {
+        ctx.tx.is_live(node)
+    }
+
+    /// Reads a node's value inside a transaction.
+    pub fn value(&self, ctx: &mut TxCtx<'_>, node: ObjId) -> T {
+        T::decode(ctx.tx.read_i64(node, VAL))
+    }
+
+    /// Writes a node's value inside a transaction.
+    pub fn set_value(&self, ctx: &mut TxCtx<'_>, node: ObjId, v: T) {
+        ctx.tx.write_i64(node, VAL, v.encode());
+    }
+
+    /// The node after `node` inside a transaction, if any.
+    pub fn next(&self, ctx: &mut TxCtx<'_>, node: ObjId) -> Option<ObjId> {
+        match ctx.tx.read_i64(node, NEXT) {
+            NIL => None,
+            id => Some(ObjId::from_i64(id)),
+        }
+    }
+
+    /// Unlinks and frees `node` inside a transaction. Writes the neighbour
+    /// links (and the sentinel when removing an end), so concurrent
+    /// removals of adjacent nodes conflict and retry.
+    pub fn remove(&self, ctx: &mut TxCtx<'_>, node: ObjId) {
+        let next = ctx.tx.read_i64(node, NEXT);
+        let prev = ctx.tx.read_i64(node, PREV);
+        if prev == NIL {
+            ctx.tx.write_i64(self.sentinel, HEAD, next);
+        } else {
+            ctx.tx.write_i64(ObjId::from_i64(prev), NEXT, next);
+        }
+        if next == NIL {
+            ctx.tx.write_i64(self.sentinel, TAIL, prev);
+        } else {
+            ctx.tx.write_i64(ObjId::from_i64(next), PREV, prev);
+        }
+        ctx.tx.free(node);
+    }
+
+    /// Inserts `v` after `node` inside a transaction, returning the new
+    /// node's id (stable across commit — the ALTER-allocator guarantee).
+    pub fn insert_after(&self, ctx: &mut TxCtx<'_>, node: ObjId, v: T) -> ObjId {
+        let next = ctx.tx.read_i64(node, NEXT);
+        let fresh = ctx
+            .tx
+            .alloc(ObjData::I64(vec![v.encode(), next, node.to_i64()]));
+        ctx.tx.write_i64(node, NEXT, fresh.to_i64());
+        if next == NIL {
+            ctx.tx.write_i64(self.sentinel, TAIL, fresh.to_i64());
+        } else {
+            ctx.tx
+                .write_i64(ObjId::from_i64(next), PREV, fresh.to_i64());
+        }
+        fresh
+    }
+
+    /// Appends `v` inside a transaction. Tail appends always conflict with
+    /// each other (they contend on the sentinel), mirroring the serializing
+    /// behaviour of a shared list tail.
+    pub fn push_back_tx(&self, ctx: &mut TxCtx<'_>, v: T) -> ObjId {
+        match ctx.tx.read_i64(self.sentinel, TAIL) {
+            NIL => {
+                let fresh = ctx.tx.alloc(ObjData::I64(vec![v.encode(), NIL, NIL]));
+                ctx.tx.write_i64(self.sentinel, HEAD, fresh.to_i64());
+                ctx.tx.write_i64(self.sentinel, TAIL, fresh.to_i64());
+                fresh
+            }
+            tail => self.insert_after(ctx, ObjId::from_i64(tail), v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alter_runtime::{ConflictPolicy, Driver, ExecParams, LoopBuilder};
+
+    #[test]
+    fn sequential_build_and_walk() {
+        let mut heap = Heap::new();
+        let list: AlterList<i64> = AlterList::from_iter(&mut heap, [10, 20, 30]);
+        assert_eq!(list.seq_values(&heap), vec![10, 20, 30]);
+        assert_eq!(list.len(&heap), 3);
+        assert!(!list.is_empty(&heap));
+        assert_eq!(list.node_ids(&heap).len(), 3);
+    }
+
+    #[test]
+    fn seq_remove_head_middle_tail() {
+        let mut heap = Heap::new();
+        let list: AlterList<i64> = AlterList::from_iter(&mut heap, [1, 2, 3, 4]);
+        let ids: Vec<ObjId> = list
+            .node_ids(&heap)
+            .iter()
+            .map(|r| ObjId::from_index(*r as u32))
+            .collect();
+        list.seq_remove(&mut heap, ids[1]); // middle
+        assert_eq!(list.seq_values(&heap), vec![1, 3, 4]);
+        list.seq_remove(&mut heap, ids[0]); // head
+        assert_eq!(list.seq_values(&heap), vec![3, 4]);
+        list.seq_remove(&mut heap, ids[3]); // tail
+        assert_eq!(list.seq_values(&heap), vec![3]);
+        list.seq_remove(&mut heap, ids[2]);
+        assert!(list.is_empty(&heap));
+        assert_eq!(list.len(&heap), 0);
+    }
+
+    #[test]
+    fn parallel_loop_over_list_updates_values() {
+        let mut heap = Heap::new();
+        let list: AlterList<f64> = AlterList::from_iter(&mut heap, (0..20).map(f64::from));
+        let nodes = list.node_ids(&heap);
+        let params = ExecParams::new(4, 2);
+        let stats = LoopBuilder::new(&params)
+            .items(nodes)
+            .run(&mut heap, Driver::sequential(), |ctx, raw| {
+                let node = ObjId::from_index(raw as u32);
+                let v = list.value(ctx, node);
+                list.set_value(ctx, node, v * 2.0);
+            })
+            .unwrap();
+        assert_eq!(stats.retries(), 0, "per-node writes are disjoint");
+        let expect: Vec<f64> = (0..20).map(|i| f64::from(i) * 2.0).collect();
+        assert_eq!(list.seq_values(&heap), expect);
+    }
+
+    #[test]
+    fn concurrent_adjacent_removals_conflict_and_retry() {
+        let mut heap = Heap::new();
+        let list: AlterList<i64> = AlterList::from_iter(&mut heap, 0..16);
+        let nodes = list.node_ids(&heap);
+        let mut params = ExecParams::new(4, 1);
+        params.conflict = ConflictPolicy::Waw;
+        let stats = LoopBuilder::new(&params)
+            .items(nodes)
+            .run(&mut heap, Driver::sequential(), |ctx, raw| {
+                let node = ObjId::from_index(raw as u32);
+                if list.is_node_live(ctx, node) {
+                    list.remove(ctx, node);
+                }
+            })
+            .unwrap();
+        assert!(list.is_empty(&heap), "all nodes eventually removed");
+        assert!(stats.retries() > 0, "adjacent removals must conflict");
+        assert_eq!(heap.live_objects(), 1, "only the sentinel remains");
+    }
+
+    #[test]
+    fn transactional_insert_after_links_correctly() {
+        let mut heap = Heap::new();
+        let list: AlterList<i64> = AlterList::from_iter(&mut heap, [1, 3]);
+        let nodes = list.node_ids(&heap);
+        let params = ExecParams::new(1, 1);
+        LoopBuilder::new(&params)
+            .items(vec![nodes[0]])
+            .run(&mut heap, Driver::sequential(), |ctx, raw| {
+                list.insert_after(ctx, ObjId::from_index(raw as u32), 2);
+            })
+            .unwrap();
+        assert_eq!(list.seq_values(&heap), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn transactional_push_back_on_empty_and_nonempty() {
+        let mut heap = Heap::new();
+        let list: AlterList<i64> = AlterList::new(&mut heap);
+        let params = ExecParams::new(2, 1);
+        LoopBuilder::new(&params)
+            .range(0, 5)
+            .run(&mut heap, Driver::sequential(), |ctx, i| {
+                list.push_back_tx(ctx, i as i64 * 100);
+            })
+            .unwrap();
+        // Tail contention retries preserve every element; commit order is
+        // deterministic, so the final order is too.
+        let mut vals = list.seq_values(&heap);
+        assert_eq!(vals.len(), 5);
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 100, 200, 300, 400]);
+    }
+}

@@ -1,0 +1,414 @@
+//! The committed memory state, snapshots of it, and commit application.
+//!
+//! The paper's runtime keeps one *committed memory state* plus N process-
+//! private copy-on-write mappings (§4.1, Figure 4). Here the committed state
+//! is a vector of `Arc`'d objects; a [`Snapshot`] is a cheap structural copy
+//! of that vector (every object shared), and transaction privacy comes from
+//! copying an object into a private overlay on first write
+//! ([`crate::Tx`]) — software copy-on-write at allocation granularity.
+
+use crate::object::{ObjData, ObjId};
+use std::sync::Arc;
+
+/// The committed memory state.
+///
+/// Sequential (non-transactional) code — program setup, the sequential parts
+/// between parallel loops, validation — accesses the heap directly through
+/// [`Heap::get`] / [`Heap::get_mut`]. Parallel loops access it only through
+/// snapshots and transactions, and mutate it only through
+/// [`Heap::apply_commit`] in deterministic commit order.
+#[derive(Debug, Default)]
+pub struct Heap {
+    slots: Vec<Option<Arc<ObjData>>>,
+    /// Commit version at which each slot was last written.
+    versions: Vec<u64>,
+    /// Global commit counter; bumped once per committed transaction.
+    version: u64,
+    /// Slots freed by sequential code, reusable by sequential allocation.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an object from sequential code and returns its id.
+    ///
+    /// Reuses previously freed slots (single-threaded, so reuse is
+    /// deterministic). Transactional allocation goes through
+    /// [`crate::Tx::alloc`] instead, which draws from per-worker disjoint id
+    /// reservations so concurrent transactions can never be handed the same
+    /// id (the ALTER-allocator guarantee, §4.1).
+    pub fn alloc(&mut self, data: ObjData) -> ObjId {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("heap exhausted");
+                self.slots.push(None);
+                self.versions.push(0);
+                idx
+            }
+        };
+        self.slots[idx as usize] = Some(Arc::new(data));
+        self.versions[idx as usize] = self.version;
+        self.live += 1;
+        ObjId(idx)
+    }
+
+    /// Frees an object from sequential code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live (double free or never allocated).
+    pub fn free(&mut self, id: ObjId) {
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("free of unknown {id}"));
+        assert!(slot.take().is_some(), "double free of {id}");
+        self.free.push(id.0);
+        self.live -= 1;
+    }
+
+    /// Borrows the committed payload of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    #[inline]
+    pub fn get(&self, id: ObjId) -> &ObjData {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(|s| s.as_deref())
+            .unwrap_or_else(|| panic!("access to dead or unknown {id}"))
+    }
+
+    /// Whether `id` names a live allocation.
+    pub fn is_live(&self, id: ObjId) -> bool {
+        self.slots.get(id.0 as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// Mutably borrows the committed payload of `id` from sequential code,
+    /// cloning it first if a snapshot still shares it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn get_mut(&mut self, id: ObjId) -> &mut ObjData {
+        self.versions[id.0 as usize] = self.version;
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .and_then(|s| s.as_mut())
+            .unwrap_or_else(|| panic!("access to dead or unknown {id}"));
+        Arc::make_mut(slot)
+    }
+
+    /// Takes a consistent snapshot of the committed state.
+    ///
+    /// Cost is one `Arc` clone per slot — the analogue of re-establishing the
+    /// copy-on-write mappings at the start of a lock-step round.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            slots: Arc::from(self.slots.clone().into_boxed_slice()),
+            version: self.version,
+        }
+    }
+
+    /// Current global commit version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Commit version at which `id` was last written.
+    pub fn slot_version(&self, id: ObjId) -> u64 {
+        self.versions[id.0 as usize]
+    }
+
+    /// Number of live allocations.
+    pub fn live_objects(&self) -> usize {
+        self.live
+    }
+
+    /// Total words across live allocations (used by the simulator's
+    /// bandwidth model and by memory-budget accounting).
+    pub fn live_words(&self) -> u64 {
+        self.slots.iter().flatten().map(|o| o.len() as u64).sum()
+    }
+
+    /// First id that has never been allocated; parallel id reservations
+    /// start here (see [`crate::IdReservation`]).
+    pub fn high_water(&self) -> u32 {
+        u32::try_from(self.slots.len()).expect("heap exhausted")
+    }
+
+    /// Applies a validated transaction's effects, in deterministic commit
+    /// order, and bumps the commit version.
+    ///
+    /// Only the word ranges in the transaction's write set are merged back
+    /// ([`ObjData::copy_range_from`]): snapshot isolation lets two
+    /// transactions commit writes to disjoint ranges of one allocation, so a
+    /// whole-object overwrite would lose the earlier commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op refers to a dead object (the engine validates before
+    /// committing, so this indicates a runtime bug) or an alloc id collides
+    /// with a live slot (an allocator invariant violation).
+    pub fn apply_commit(&mut self, ops: CommitOps) {
+        self.version += 1;
+        for (id, lo, hi, src) in ops.writes {
+            let slot_idx = id.0 as usize;
+            self.versions[slot_idx] = self.version;
+            let slot = self.slots[slot_idx]
+                .as_mut()
+                .unwrap_or_else(|| panic!("commit write to dead {id}"));
+            if lo == 0 && hi as usize == src.len() && src.len() == slot.len() {
+                // Whole-object write: swap the Arc, no copy.
+                *slot = src;
+            } else {
+                Arc::make_mut(slot).copy_range_from(&src, lo as usize, hi as usize);
+            }
+        }
+        for (id, data) in ops.allocs {
+            let idx = id.0 as usize;
+            if idx >= self.slots.len() {
+                self.slots.resize(idx + 1, None);
+                self.versions.resize(idx + 1, 0);
+            }
+            assert!(
+                self.slots[idx].is_none(),
+                "allocator invariant violated: {id} already live at commit"
+            );
+            self.slots[idx] = Some(data);
+            self.versions[idx] = self.version;
+            self.live += 1;
+        }
+        for id in ops.frees {
+            let slot = self.slots[id.0 as usize]
+                .take()
+                .unwrap_or_else(|| panic!("commit free of dead {id}"));
+            drop(slot);
+            self.live -= 1;
+            // Freed parallel slots are not recycled: the paper's allocator
+            // also leaves holes rather than risk cross-process reuse races.
+        }
+    }
+
+    /// Returns a deterministic digest of the committed state, for
+    /// output-comparison in tests and the inference engine.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over (slot index, kind tag, raw words) of live slots.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(obj) = slot else { continue };
+            mix(i as u64);
+            match obj.as_ref() {
+                ObjData::F64(v) => {
+                    mix(1);
+                    for x in v {
+                        mix(x.to_bits());
+                    }
+                }
+                ObjData::I64(v) => {
+                    mix(2);
+                    for x in v {
+                        mix(*x as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+/// A consistent, immutable view of the committed state at some version.
+///
+/// Cloning a snapshot is O(1); all transactions of one lock-step round share
+/// one snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    slots: Arc<[Option<Arc<ObjData>>]>,
+    version: u64,
+}
+
+impl Snapshot {
+    /// Borrows the payload of `id` as of this snapshot, or `None` if the
+    /// object was dead (or not yet allocated) at snapshot time.
+    #[inline]
+    pub fn get(&self, id: ObjId) -> Option<&ObjData> {
+        self.slots.get(id.0 as usize).and_then(|s| s.as_deref())
+    }
+
+    /// Shares the payload `Arc` of `id`, for zero-copy reads.
+    pub fn get_arc(&self, id: ObjId) -> Option<Arc<ObjData>> {
+        self.slots.get(id.0 as usize).and_then(|s| s.clone())
+    }
+
+    /// The commit version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of slots (live or dead) visible to the snapshot.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// The effects of one validated transaction, applied by
+/// [`Heap::apply_commit`].
+#[derive(Debug, Default)]
+pub struct CommitOps {
+    /// `(object, lo, hi, source)` — merge words `lo..hi` of `source` into
+    /// the committed object.
+    pub writes: Vec<(ObjId, u32, u32, Arc<ObjData>)>,
+    /// Objects allocated by the transaction, installed at their reserved ids.
+    pub allocs: Vec<(ObjId, Arc<ObjData>)>,
+    /// Objects freed by the transaction.
+    pub frees: Vec<ObjId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_mutate_free() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::scalar_f64(1.0));
+        let b = h.alloc(ObjData::zeros_i64(3));
+        assert_eq!(h.live_objects(), 2);
+        assert_eq!(h.get(a).f64s()[0], 1.0);
+        h.get_mut(b).i64s_mut()[2] = 7;
+        assert_eq!(h.get(b).i64s(), &[0, 0, 7]);
+        h.free(a);
+        assert_eq!(h.live_objects(), 1);
+        assert!(!h.is_live(a));
+        // Sequential alloc reuses the freed slot deterministically.
+        let c = h.alloc(ObjData::scalar_i64(9));
+        assert_eq!(c.index(), a.index());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::scalar_i64(0));
+        h.free(a);
+        // Slot is now empty; freeing again must panic.
+        let dead = ObjId::from_index(a.index());
+        h.free(dead);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_commits() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::scalar_f64(1.0));
+        let snap = h.snapshot();
+        h.get_mut(a).f64s_mut()[0] = 2.0;
+        assert_eq!(snap.get(a).unwrap().f64s()[0], 1.0);
+        assert_eq!(h.get(a).f64s()[0], 2.0);
+    }
+
+    #[test]
+    fn snapshot_does_not_see_later_allocations() {
+        let mut h = Heap::new();
+        let snap = h.snapshot();
+        let a = h.alloc(ObjData::scalar_i64(1));
+        assert!(snap.get(a).is_none());
+        assert_eq!(snap.slot_count(), 0);
+    }
+
+    #[test]
+    fn apply_commit_merges_ranges_not_whole_objects() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::F64(vec![0.0; 4]));
+        // Two "transactions" writing disjoint ranges, both based on the
+        // original snapshot contents.
+        let tx1 = Arc::new(ObjData::F64(vec![1.0, 1.0, 0.0, 0.0]));
+        let tx2 = Arc::new(ObjData::F64(vec![0.0, 0.0, 2.0, 2.0]));
+        h.apply_commit(CommitOps {
+            writes: vec![(a, 0, 2, tx1)],
+            ..Default::default()
+        });
+        h.apply_commit(CommitOps {
+            writes: vec![(a, 2, 4, tx2)],
+            ..Default::default()
+        });
+        assert_eq!(h.get(a).f64s(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(h.version(), 2);
+        assert_eq!(h.slot_version(a), 2);
+    }
+
+    #[test]
+    fn apply_commit_installs_allocs_at_reserved_ids() {
+        let mut h = Heap::new();
+        let _ = h.alloc(ObjData::scalar_i64(0));
+        let far = ObjId::from_index(10);
+        h.apply_commit(CommitOps {
+            allocs: vec![(far, Arc::new(ObjData::scalar_i64(42)))],
+            ..Default::default()
+        });
+        assert_eq!(h.get(far).i64s(), &[42]);
+        assert_eq!(h.live_objects(), 2);
+        assert_eq!(h.high_water(), 11);
+    }
+
+    #[test]
+    fn apply_commit_frees() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::scalar_i64(1));
+        h.apply_commit(CommitOps {
+            frees: vec![a],
+            ..Default::default()
+        });
+        assert!(!h.is_live(a));
+        assert_eq!(h.live_objects(), 0);
+    }
+
+    #[test]
+    fn digest_changes_with_content_and_identity() {
+        let mut h1 = Heap::new();
+        let a = h1.alloc(ObjData::scalar_f64(1.0));
+        let d1 = h1.digest();
+        h1.get_mut(a).f64s_mut()[0] = 2.0;
+        let d2 = h1.digest();
+        assert_ne!(d1, d2);
+
+        let mut h2 = Heap::new();
+        h2.alloc(ObjData::scalar_f64(2.0));
+        assert_eq!(h2.digest(), d2);
+    }
+
+    #[test]
+    fn snapshot_get_arc_shares_until_write() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::zeros_f64(4));
+        let snap = h.snapshot();
+        let arc = snap.get_arc(a).unwrap();
+        // Snapshot and heap share the payload until a write forces a copy.
+        assert!(std::sync::Arc::ptr_eq(&arc, &snap.get_arc(a).unwrap()));
+        h.get_mut(a).f64s_mut()[0] = 5.0;
+        assert_eq!(arc.f64s()[0], 0.0, "snapshot view unaffected");
+        assert_eq!(h.get(a).f64s()[0], 5.0);
+        assert!(snap.get_arc(ObjId::from_index(99)).is_none());
+    }
+
+    #[test]
+    fn live_words_counts_all_payloads() {
+        let mut h = Heap::new();
+        h.alloc(ObjData::zeros_f64(10));
+        let b = h.alloc(ObjData::zeros_i64(5));
+        assert_eq!(h.live_words(), 15);
+        h.free(b);
+        assert_eq!(h.live_words(), 10);
+    }
+}

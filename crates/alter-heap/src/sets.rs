@@ -1,0 +1,349 @@
+//! Read and write sets.
+//!
+//! The runtime library in the paper stores instrumented addresses "in a
+//! (local) hash set as well as a (global) array. The hash set allows quick
+//! elimination of duplicates, while the global array allows other processes
+//! to check for conflicts" (§4.1). We keep the same structure: a
+//! deterministic hash map from allocation to a set of word ranges, which
+//! doubles as the structure other transactions probe during validation.
+
+use crate::object::ObjId;
+use rustc_hash::FxHashMap;
+
+/// A sorted, coalesced set of half-open word ranges within one allocation.
+///
+/// ```
+/// use alter_heap::RangeSet;
+/// let mut r = RangeSet::new();
+/// r.insert(0, 4);
+/// r.insert(4, 8); // coalesces with the previous range
+/// assert_eq!(r.range_count(), 1);
+/// assert!(r.overlaps_range(6, 7));
+/// assert!(!r.contains(8));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// Sorted by `lo`, pairwise disjoint and non-adjacent.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl RangeSet {
+    /// Creates an empty range set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `lo..hi`, merging with overlapping or adjacent ranges.
+    /// Inserting an empty range is a no-op.
+    pub fn insert(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        // Fast path: append or extend at the tail (the common access pattern
+        // is monotonically increasing indices within a chunk).
+        if let Some(last) = self.ranges.last_mut() {
+            if lo >= last.0 {
+                if lo <= last.1 {
+                    last.1 = last.1.max(hi);
+                    return;
+                }
+                self.ranges.push((lo, hi));
+                return;
+            }
+        } else {
+            self.ranges.push((lo, hi));
+            return;
+        }
+        // Slow path: general insert with coalescing.
+        let start = self.ranges.partition_point(|&(_, h)| h < lo);
+        let mut end = start;
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        while end < self.ranges.len() && self.ranges[end].0 <= new_hi {
+            new_lo = new_lo.min(self.ranges[end].0);
+            new_hi = new_hi.max(self.ranges[end].1);
+            end += 1;
+        }
+        self.ranges.splice(start..end, [(new_lo, new_hi)]);
+    }
+
+    /// Whether any word of `lo..hi` is present.
+    pub fn overlaps_range(&self, lo: u32, hi: u32) -> bool {
+        if lo >= hi {
+            return false;
+        }
+        let i = self.ranges.partition_point(|&(_, h)| h <= lo);
+        i < self.ranges.len() && self.ranges[i].0 < hi
+    }
+
+    /// Whether the two sets share any word.
+    pub fn overlaps(&self, other: &RangeSet) -> bool {
+        let (a, b) = (&self.ranges, &other.ranges);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].1 <= b[j].0 {
+                i += 1;
+            } else if b[j].1 <= a[i].0 {
+                j += 1;
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a specific word is present.
+    pub fn contains(&self, word: u32) -> bool {
+        self.overlaps_range(word, word + 1)
+    }
+
+    /// Total number of words covered.
+    pub fn words(&self) -> u64 {
+        self.ranges.iter().map(|&(l, h)| u64::from(h - l)).sum()
+    }
+
+    /// Number of maximal ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterates over the maximal ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ranges.iter().copied()
+    }
+}
+
+/// A read or write set: for each touched allocation, the set of touched
+/// word ranges.
+///
+/// ```
+/// use alter_heap::{AccessSet, ObjId};
+/// let (a, b) = (ObjId::from_index(1), ObjId::from_index(2));
+/// let mut reads = AccessSet::new();
+/// reads.insert(a, 0, 16);
+/// let mut writes = AccessSet::new();
+/// writes.insert(b, 0, 16); // different allocation: no conflict
+/// assert!(!reads.overlaps(&writes));
+/// writes.insert(a, 15, 17); // one shared word: conflict
+/// assert!(reads.overlaps(&writes));
+/// ```
+///
+/// Iteration order over allocations is only exposed in sorted form
+/// ([`AccessSet::iter_sorted`]) so that every consumer of the set is
+/// deterministic — determinism is a headline guarantee of the runtime
+/// (paper §4.3).
+#[derive(Clone, Debug, Default)]
+pub struct AccessSet {
+    map: FxHashMap<ObjId, RangeSet>,
+    words: u64,
+}
+
+impl AccessSet {
+    /// Creates an empty access set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access to words `lo..hi` of `id`.
+    pub fn insert(&mut self, id: ObjId, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        let set = self.map.entry(id).or_default();
+        let before = set.words();
+        set.insert(lo, hi);
+        self.words += set.words() - before;
+    }
+
+    /// Records an access to a single word.
+    pub fn insert_word(&mut self, id: ObjId, word: u32) {
+        self.insert(id, word, word + 1);
+    }
+
+    /// Whether this set shares any (allocation, word) with `other`.
+    ///
+    /// This is the conflict test at the heart of validation: `FULL` compares
+    /// reads∪writes against writes, `WAW` writes against writes, `RAW` reads
+    /// against writes (paper §4.2).
+    pub fn overlaps(&self, other: &AccessSet) -> bool {
+        // Probe from the smaller side.
+        let (small, big) = if self.map.len() <= other.map.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (id, ranges) in &small.map {
+            if let Some(other_ranges) = big.map.get(id) {
+                if ranges.overlaps(other_ranges) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether words `lo..hi` of `id` are present.
+    pub fn contains_range(&self, id: ObjId, lo: u32, hi: u32) -> bool {
+        self.map.get(&id).is_some_and(|r| r.overlaps_range(lo, hi))
+    }
+
+    /// The range set recorded for `id`, if any.
+    pub fn ranges(&self, id: ObjId) -> Option<&RangeSet> {
+        self.map.get(&id)
+    }
+
+    /// Merges `other` into `self`.
+    pub fn union_with(&mut self, other: &AccessSet) {
+        for (id, ranges) in &other.map {
+            for (lo, hi) in ranges.iter() {
+                self.insert(*id, lo, hi);
+            }
+        }
+    }
+
+    /// Total words covered across all allocations.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Number of distinct allocations touched.
+    pub fn objects(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of maximal ranges across all allocations (each maps to
+    /// one instrumentation record).
+    pub fn range_count(&self) -> usize {
+        self.map.values().map(RangeSet::range_count).sum()
+    }
+
+    /// Whether no access has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes all recorded accesses.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.words = 0;
+    }
+
+    /// Iterates over `(allocation, ranges)` in ascending `ObjId` order.
+    pub fn iter_sorted(&self) -> Vec<(ObjId, &RangeSet)> {
+        let mut v: Vec<_> = self.map.iter().map(|(id, r)| (*id, r)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> ObjId {
+        ObjId::from_index(n)
+    }
+
+    #[test]
+    fn rangeset_coalesces_adjacent_and_overlapping() {
+        let mut r = RangeSet::new();
+        r.insert(0, 2);
+        r.insert(2, 4); // adjacent
+        assert_eq!(r.range_count(), 1);
+        assert_eq!(r.words(), 4);
+        r.insert(10, 12);
+        r.insert(1, 11); // bridges both
+        assert_eq!(r.range_count(), 1);
+        assert_eq!(r.words(), 12);
+    }
+
+    #[test]
+    fn rangeset_out_of_order_inserts() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(0, 5);
+        r.insert(30, 40);
+        assert_eq!(r.range_count(), 3);
+        assert!(r.contains(0));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(25));
+        assert!(r.contains(39));
+    }
+
+    #[test]
+    fn rangeset_empty_insert_is_noop() {
+        let mut r = RangeSet::new();
+        r.insert(5, 5);
+        assert!(r.is_empty());
+        assert!(!r.overlaps_range(0, 100));
+    }
+
+    #[test]
+    fn rangeset_overlap_tests() {
+        let mut a = RangeSet::new();
+        a.insert(0, 10);
+        a.insert(20, 30);
+        let mut b = RangeSet::new();
+        b.insert(10, 20);
+        assert!(!a.overlaps(&b));
+        b.insert(29, 35);
+        assert!(a.overlaps(&b));
+        assert!(a.overlaps_range(5, 6));
+        assert!(!a.overlaps_range(10, 20));
+    }
+
+    #[test]
+    fn accessset_word_accounting() {
+        let mut s = AccessSet::new();
+        s.insert(id(1), 0, 4);
+        s.insert(id(1), 2, 6); // 2 new words
+        s.insert_word(id(2), 9);
+        assert_eq!(s.words(), 7);
+        assert_eq!(s.objects(), 2);
+    }
+
+    #[test]
+    fn accessset_overlap_requires_same_object_and_range() {
+        let mut a = AccessSet::new();
+        a.insert(id(1), 0, 4);
+        let mut b = AccessSet::new();
+        b.insert(id(2), 0, 4);
+        assert!(!a.overlaps(&b));
+        b.insert(id(1), 4, 8);
+        assert!(!a.overlaps(&b));
+        b.insert(id(1), 3, 4);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn accessset_union_and_clear() {
+        let mut a = AccessSet::new();
+        a.insert(id(1), 0, 2);
+        let mut b = AccessSet::new();
+        b.insert(id(1), 1, 3);
+        b.insert(id(3), 0, 1);
+        a.union_with(&b);
+        assert_eq!(a.words(), 4);
+        assert_eq!(a.objects(), 2);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.words(), 0);
+    }
+
+    #[test]
+    fn accessset_iter_sorted_is_ascending() {
+        let mut a = AccessSet::new();
+        for n in [5u32, 1, 9, 3] {
+            a.insert_word(id(n), 0);
+        }
+        let order: Vec<u32> = a.iter_sorted().iter().map(|(i, _)| i.index()).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+}

@@ -1,0 +1,590 @@
+//! Transactions: isolated, instrumented views of a snapshot.
+//!
+//! Each loop iteration (or chunk of iterations) executes against a [`Tx`]:
+//! reads come from the round's shared [`Snapshot`] unless the transaction
+//! already wrote the object, in which case they come from the private
+//! overlay (software copy-on-write at allocation granularity). Reads and
+//! writes are recorded in word-range [`AccessSet`]s — the `InstrumentRead` /
+//! `InstrumentWrite` calls the ALTER compiler inserts (§4.1).
+//!
+//! Read tracking is elided when the conflict policy does not need read sets
+//! (`WAW`, `NONE`): this is precisely why the paper finds `StaleReads`
+//! outperforming `OutOfOrder` — "enforcing StaleReads does not need read
+//! instrumentation" (§7.2).
+
+use crate::alloc::IdReservation;
+use crate::heap::Snapshot;
+use crate::object::{ObjData, ObjId};
+use crate::sets::AccessSet;
+use rustc_hash::FxHashMap;
+
+/// Which access sets a transaction maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrackMode {
+    /// Track reads and writes (needed by `FULL` and `RAW` conflict policies).
+    ReadsAndWrites,
+    /// Track writes only (sufficient for `WAW` — the StaleReads fast path).
+    WritesOnly,
+    /// Track nothing (DOALL / sequential replay; stats still counted).
+    None,
+}
+
+impl TrackMode {
+    /// Whether read instrumentation is active.
+    pub fn tracks_reads(self) -> bool {
+        matches!(self, TrackMode::ReadsAndWrites)
+    }
+
+    /// Whether write instrumentation is active.
+    pub fn tracks_writes(self) -> bool {
+        !matches!(self, TrackMode::None)
+    }
+}
+
+/// Panic payload raised when a transaction exceeds its tracked-memory
+/// budget. The engine converts it into an out-of-memory abort — the
+/// analogue of the paper's AggloClust runs where "the machine runs out of
+/// memory (due to very large read sets)" under TLS and OutOfOrder (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryExceeded {
+    /// Words tracked at the moment the budget was exceeded.
+    pub words: u64,
+    /// The configured budget.
+    pub budget: u64,
+}
+
+/// Operation counters for one transaction, fed to the virtual-time cost
+/// model and to the Table 4 statistics (RW set sizes, etc.).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Instrumented read operations (one per `read_*`/`with_*` call).
+    pub read_ops: u64,
+    /// Words covered by read operations (a range read of n words counts n).
+    pub read_words: u64,
+    /// Instrumented write operations.
+    pub write_ops: u64,
+    /// Words covered by write operations.
+    pub write_words: u64,
+    /// Abstract compute work declared by the loop body via [`Tx::work`].
+    pub work: u64,
+    /// Memory traffic on loop-invariant data outside the heap (e.g. a
+    /// read-only matrix streamed by every iteration), declared via
+    /// [`Tx::traffic`]. Counts toward the bandwidth model but is never
+    /// instrumented.
+    pub traffic_words: u64,
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Objects freed.
+    pub frees: u64,
+}
+
+impl TxStats {
+    /// Accumulates `other` into `self`.
+    pub fn add(&mut self, other: &TxStats) {
+        self.read_ops += other.read_ops;
+        self.read_words += other.read_words;
+        self.write_ops += other.write_ops;
+        self.write_words += other.write_words;
+        self.work += other.work;
+        self.traffic_words += other.traffic_words;
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+    }
+}
+
+/// An isolated, instrumented view of the heap for one transaction.
+pub struct Tx<'s> {
+    snap: &'s Snapshot,
+    overlay: FxHashMap<ObjId, ObjData>,
+    reads: AccessSet,
+    writes: AccessSet,
+    mode: TrackMode,
+    /// Ids allocated by this transaction; accesses to them are not
+    /// instrumented (they cannot conflict — the paper elides instrumentation
+    /// for variables "defined afresh in each iteration").
+    fresh: Vec<ObjId>,
+    freed: Vec<ObjId>,
+    ids: IdReservation,
+    stats: TxStats,
+    /// Abort when tracked read+write words exceed this.
+    budget_words: u64,
+}
+
+impl<'s> std::fmt::Debug for Tx<'s> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tx")
+            .field("mode", &self.mode)
+            .field("overlay_objects", &self.overlay.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'s> Tx<'s> {
+    /// Creates a transaction over `snap` with the given tracking mode, id
+    /// reservation and tracked-memory budget (in words).
+    pub fn new(snap: &'s Snapshot, mode: TrackMode, ids: IdReservation, budget_words: u64) -> Self {
+        Tx {
+            snap,
+            overlay: FxHashMap::default(),
+            reads: AccessSet::new(),
+            writes: AccessSet::new(),
+            mode,
+            fresh: Vec::new(),
+            freed: Vec::new(),
+            ids,
+            stats: TxStats::default(),
+            budget_words,
+        }
+    }
+
+    fn check_budget(&self) {
+        let words = self.reads.words() + self.writes.words();
+        if words > self.budget_words {
+            std::panic::panic_any(MemoryExceeded {
+                words,
+                budget: self.budget_words,
+            });
+        }
+    }
+
+    #[inline]
+    fn is_fresh(&self, id: ObjId) -> bool {
+        self.fresh.contains(&id)
+    }
+
+    #[inline]
+    fn track_read(&mut self, id: ObjId, lo: u32, hi: u32) {
+        self.stats.read_ops += 1;
+        self.stats.read_words += u64::from(hi - lo);
+        if self.mode.tracks_reads() && !self.is_fresh(id) {
+            self.reads.insert(id, lo, hi);
+            self.check_budget();
+        }
+    }
+
+    #[inline]
+    fn track_write(&mut self, id: ObjId, lo: u32, hi: u32) {
+        self.stats.write_ops += 1;
+        self.stats.write_words += u64::from(hi - lo);
+        if self.mode.tracks_writes() && !self.is_fresh(id) {
+            self.writes.insert(id, lo, hi);
+            self.check_budget();
+        }
+    }
+
+    /// Borrows the current payload of `id` (overlay first, snapshot second)
+    /// **without** recording a read. Internal helper; public reads go
+    /// through the typed accessors.
+    fn payload(&self, id: ObjId) -> &ObjData {
+        if let Some(obj) = self.overlay.get(&id) {
+            return obj;
+        }
+        self.snap
+            .get(id)
+            .unwrap_or_else(|| panic!("transaction accessed dead or unknown {id}"))
+    }
+
+    /// Ensures `id` is materialized in the private overlay (copy-on-write)
+    /// and returns a mutable borrow.
+    fn payload_mut(&mut self, id: ObjId) -> &mut ObjData {
+        if !self.overlay.contains_key(&id) {
+            let obj = self
+                .snap
+                .get(id)
+                .unwrap_or_else(|| panic!("transaction wrote dead or unknown {id}"))
+                .clone();
+            self.overlay.insert(id, obj);
+        }
+        self.overlay.get_mut(&id).expect("just inserted")
+    }
+
+    // ----- typed scalar access -----
+
+    /// Reads word `idx` of float object `id`.
+    #[inline]
+    pub fn read_f64(&mut self, id: ObjId, idx: usize) -> f64 {
+        self.track_read(id, idx as u32, idx as u32 + 1);
+        self.payload(id).f64s()[idx]
+    }
+
+    /// Reads word `idx` of integer object `id`.
+    #[inline]
+    pub fn read_i64(&mut self, id: ObjId, idx: usize) -> i64 {
+        self.track_read(id, idx as u32, idx as u32 + 1);
+        self.payload(id).i64s()[idx]
+    }
+
+    /// Writes word `idx` of float object `id`.
+    #[inline]
+    pub fn write_f64(&mut self, id: ObjId, idx: usize, v: f64) {
+        self.track_write(id, idx as u32, idx as u32 + 1);
+        self.payload_mut(id).f64s_mut()[idx] = v;
+    }
+
+    /// Writes word `idx` of integer object `id`.
+    #[inline]
+    pub fn write_i64(&mut self, id: ObjId, idx: usize, v: i64) {
+        self.track_write(id, idx as u32, idx as u32 + 1);
+        self.payload_mut(id).i64s_mut()[idx] = v;
+    }
+
+    // ----- range access (the paper's induction-variable-range optimization:
+    // one instrumentation call covers the whole range) -----
+
+    /// Calls `f` with words `lo..hi` of float object `id`, recording a
+    /// single range read.
+    pub fn with_f64s<R>(
+        &mut self,
+        id: ObjId,
+        lo: usize,
+        hi: usize,
+        f: impl FnOnce(&[f64]) -> R,
+    ) -> R {
+        self.track_read(id, lo as u32, hi as u32);
+        f(&self.payload(id).f64s()[lo..hi])
+    }
+
+    /// Calls `f` with words `lo..hi` of integer object `id`, recording a
+    /// single range read.
+    pub fn with_i64s<R>(
+        &mut self,
+        id: ObjId,
+        lo: usize,
+        hi: usize,
+        f: impl FnOnce(&[i64]) -> R,
+    ) -> R {
+        self.track_read(id, lo as u32, hi as u32);
+        f(&self.payload(id).i64s()[lo..hi])
+    }
+
+    /// Writes `src` into words `lo..` of float object `id` as one range write.
+    pub fn write_f64s(&mut self, id: ObjId, lo: usize, src: &[f64]) {
+        self.track_write(id, lo as u32, (lo + src.len()) as u32);
+        self.payload_mut(id).f64s_mut()[lo..lo + src.len()].copy_from_slice(src);
+    }
+
+    /// Writes `src` into words `lo..` of integer object `id` as one range write.
+    pub fn write_i64s(&mut self, id: ObjId, lo: usize, src: &[i64]) {
+        self.track_write(id, lo as u32, (lo + src.len()) as u32);
+        self.payload_mut(id).i64s_mut()[lo..lo + src.len()].copy_from_slice(src);
+    }
+
+    /// Calls `f` with mutable access to words `lo..hi` of float object `id`,
+    /// recording one range read and one range write (read-modify-write).
+    pub fn update_f64s<R>(
+        &mut self,
+        id: ObjId,
+        lo: usize,
+        hi: usize,
+        f: impl FnOnce(&mut [f64]) -> R,
+    ) -> R {
+        self.track_read(id, lo as u32, hi as u32);
+        self.track_write(id, lo as u32, hi as u32);
+        f(&mut self.payload_mut(id).f64s_mut()[lo..hi])
+    }
+
+    /// Like [`Tx::update_f64s`] for integer objects.
+    pub fn update_i64s<R>(
+        &mut self,
+        id: ObjId,
+        lo: usize,
+        hi: usize,
+        f: impl FnOnce(&mut [i64]) -> R,
+    ) -> R {
+        self.track_read(id, lo as u32, hi as u32);
+        self.track_write(id, lo as u32, hi as u32);
+        f(&mut self.payload_mut(id).i64s_mut()[lo..hi])
+    }
+
+    // ----- object lifecycle -----
+
+    /// Length in words of object `id` (not instrumented: object sizes are
+    /// immutable, so reading one cannot race).
+    pub fn len(&self, id: ObjId) -> usize {
+        self.payload(id).len()
+    }
+
+    /// Allocates a fresh object from this transaction's id reservation.
+    ///
+    /// The returned id is guaranteed distinct from every id any concurrent
+    /// transaction can allocate (the ALTER-allocator guarantee). The object
+    /// becomes visible to other transactions only if this one commits.
+    pub fn alloc(&mut self, data: ObjData) -> ObjId {
+        let id = self.ids.next_id();
+        self.stats.allocs += 1;
+        self.overlay.insert(id, data);
+        self.fresh.push(id);
+        id
+    }
+
+    /// Frees object `id`. The free takes effect at commit; concurrently it
+    /// behaves as a whole-object write for conflict purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not visible to this transaction.
+    pub fn free(&mut self, id: ObjId) {
+        if let Some(pos) = self.fresh.iter().position(|f| *f == id) {
+            // Alloc+free within one transaction cancels out.
+            self.fresh.swap_remove(pos);
+            self.overlay.remove(&id);
+            self.stats.frees += 1;
+            return;
+        }
+        let len = self.payload(id).len() as u32;
+        self.track_write(id, 0, len.max(1));
+        self.overlay.remove(&id);
+        self.freed.push(id);
+        self.stats.frees += 1;
+    }
+
+    /// Whether `id` is visible (live in the snapshot or created here) and
+    /// not freed by this transaction.
+    pub fn is_live(&self, id: ObjId) -> bool {
+        if self.freed.contains(&id) {
+            return false;
+        }
+        self.overlay.contains_key(&id) || self.snap.get(id).is_some()
+    }
+
+    /// Declares `n` abstract units of compute work, consumed by the
+    /// virtual-time cost model.
+    #[inline]
+    pub fn work(&mut self, n: u64) {
+        self.stats.work += n;
+    }
+
+    /// Declares `n` words of memory traffic on loop-invariant inputs that
+    /// live outside the transactional heap (read-only matrices, feature
+    /// tables, …). The bandwidth model charges them like heap touches; no
+    /// instrumentation or tracking happens.
+    #[inline]
+    pub fn traffic(&mut self, n: u64) {
+        self.stats.traffic_words += n;
+    }
+
+    /// The tracking mode this transaction runs under.
+    pub fn mode(&self) -> TrackMode {
+        self.mode
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    /// The snapshot this transaction reads through.
+    pub fn snapshot(&self) -> &Snapshot {
+        self.snap
+    }
+
+    /// Finishes the transaction, yielding everything the commit engine
+    /// needs: private writes, access sets, allocation log and counters.
+    pub fn finish(self) -> TxEffects {
+        let mut overlay = self.overlay;
+        let allocs: Vec<(ObjId, ObjData)> = {
+            let mut fresh = self.fresh;
+            fresh.sort_unstable();
+            fresh
+                .into_iter()
+                .map(|id| {
+                    let data = overlay.remove(&id).expect("fresh object lost");
+                    (id, data)
+                })
+                .collect()
+        };
+        TxEffects {
+            overlay,
+            reads: self.reads,
+            writes: self.writes,
+            allocs,
+            frees: self.freed,
+            stats: self.stats,
+            alloc_high_water: self.ids.high_water(),
+        }
+    }
+}
+
+/// Everything a finished transaction hands to the validation/commit engine.
+#[derive(Debug)]
+pub struct TxEffects {
+    /// Privately modified copies of pre-existing objects.
+    pub overlay: FxHashMap<ObjId, ObjData>,
+    /// Read set (empty unless the mode tracked reads).
+    pub reads: AccessSet,
+    /// Write set (empty under [`TrackMode::None`]).
+    pub writes: AccessSet,
+    /// Freshly allocated objects, in ascending id order.
+    pub allocs: Vec<(ObjId, ObjData)>,
+    /// Objects freed.
+    pub frees: Vec<ObjId>,
+    /// Operation counters.
+    pub stats: TxStats,
+    /// High-water mark of the id reservation (for advancing the heap).
+    pub alloc_high_water: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Heap;
+
+    fn ids() -> IdReservation {
+        IdReservation::new(1000, 0, 1, 16)
+    }
+
+    fn setup() -> (Heap, ObjId, ObjId) {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::F64(vec![1.0, 2.0, 3.0]));
+        let b = h.alloc(ObjData::I64(vec![10, 20]));
+        (h, a, b)
+    }
+
+    #[test]
+    fn reads_come_from_snapshot_until_written() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), u64::MAX);
+        assert_eq!(tx.read_f64(a, 1), 2.0);
+        tx.write_f64(a, 1, 9.0);
+        assert_eq!(tx.read_f64(a, 1), 9.0, "read-your-writes");
+        // Committed state untouched.
+        assert_eq!(h.get(a).f64s()[1], 2.0);
+    }
+
+    #[test]
+    fn access_sets_record_ranges() {
+        let (h, a, b) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), u64::MAX);
+        tx.with_f64s(a, 0, 3, |s| assert_eq!(s.len(), 3));
+        tx.write_i64(b, 0, 5);
+        let fx = tx.finish();
+        assert!(fx.reads.contains_range(a, 0, 3));
+        assert!(!fx.reads.contains_range(b, 0, 1));
+        assert!(fx.writes.contains_range(b, 0, 1));
+        assert_eq!(fx.stats.read_words, 3);
+        assert_eq!(fx.stats.write_words, 1);
+    }
+
+    #[test]
+    fn writes_only_mode_elides_read_set_but_counts_stats() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::WritesOnly, ids(), u64::MAX);
+        tx.read_f64(a, 0);
+        tx.write_f64(a, 0, 0.0);
+        let fx = tx.finish();
+        assert!(fx.reads.is_empty());
+        assert!(!fx.writes.is_empty());
+        assert_eq!(fx.stats.read_ops, 1);
+    }
+
+    #[test]
+    fn none_mode_tracks_nothing() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::None, ids(), u64::MAX);
+        tx.read_f64(a, 0);
+        tx.write_f64(a, 0, 7.0);
+        let fx = tx.finish();
+        assert!(fx.reads.is_empty());
+        assert!(fx.writes.is_empty());
+        assert_eq!(fx.overlay.len(), 1, "overlay still captures the write");
+    }
+
+    #[test]
+    fn fresh_objects_are_untracked_and_sorted_in_effects() {
+        let (h, _, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), u64::MAX);
+        let x = tx.alloc(ObjData::scalar_i64(1));
+        let y = tx.alloc(ObjData::scalar_i64(2));
+        tx.write_i64(x, 0, 11);
+        assert_eq!(tx.read_i64(x, 0), 11);
+        let fx = tx.finish();
+        assert!(fx.reads.is_empty());
+        assert!(fx.writes.is_empty());
+        let alloc_ids: Vec<ObjId> = fx.allocs.iter().map(|(i, _)| *i).collect();
+        assert_eq!(alloc_ids, vec![x, y]);
+        assert_eq!(fx.allocs[0].1.i64s(), &[11]);
+    }
+
+    #[test]
+    fn alloc_then_free_cancels() {
+        let (h, _, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), u64::MAX);
+        let x = tx.alloc(ObjData::scalar_i64(1));
+        tx.free(x);
+        assert!(!tx.is_live(x));
+        let fx = tx.finish();
+        assert!(fx.allocs.is_empty());
+        assert!(fx.frees.is_empty());
+        assert_eq!(fx.stats.allocs, 1);
+        assert_eq!(fx.stats.frees, 1);
+    }
+
+    #[test]
+    fn free_of_snapshot_object_is_whole_object_write() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), u64::MAX);
+        tx.free(a);
+        assert!(!tx.is_live(a));
+        let fx = tx.finish();
+        assert_eq!(fx.frees, vec![a]);
+        assert!(fx.writes.contains_range(a, 0, 3));
+    }
+
+    #[test]
+    fn budget_exceeded_panics_with_typed_payload() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), 2);
+            tx.with_f64s(a, 0, 3, |_| {});
+        }));
+        let payload = result.unwrap_err();
+        let me = payload
+            .downcast_ref::<MemoryExceeded>()
+            .expect("typed payload");
+        assert_eq!(me.budget, 2);
+        assert_eq!(me.words, 3);
+    }
+
+    #[test]
+    fn update_records_read_and_write() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::ReadsAndWrites, ids(), u64::MAX);
+        tx.update_f64s(a, 0, 2, |s| {
+            s[0] += 1.0;
+            s[1] += 1.0;
+        });
+        let fx = tx.finish();
+        assert!(fx.reads.contains_range(a, 0, 2));
+        assert!(fx.writes.contains_range(a, 0, 2));
+    }
+
+    #[test]
+    fn work_and_len_helpers() {
+        let (h, a, _) = setup();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::None, ids(), u64::MAX);
+        assert_eq!(tx.len(a), 3);
+        tx.work(42);
+        assert_eq!(tx.stats().work, 42);
+        assert_eq!(tx.mode(), TrackMode::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead or unknown")]
+    fn reading_unknown_object_panics() {
+        let h = Heap::new();
+        let snap = h.snapshot();
+        let mut tx = Tx::new(&snap, TrackMode::None, ids(), u64::MAX);
+        tx.read_f64(ObjId::from_index(5), 0);
+    }
+}

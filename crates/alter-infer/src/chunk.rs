@@ -1,0 +1,57 @@
+//! Chunk-factor tuning (paper §5, Figure 5).
+//!
+//! "After ascertaining valid annotations, an iterative doubling algorithm
+//! is used to find an appropriate chunk factor. Starting from a candidate
+//! value of 1 the chunk factor is iteratively doubled until a performance
+//! degradation is seen over two successive increments. The candidate that
+//! led to the best performance is then chosen."
+
+use crate::target::{InferTarget, Model, Probe};
+use alter_runtime::{quiet::quiet_panics, RedOp};
+
+/// Result of the chunk-factor search.
+#[derive(Clone, Debug)]
+pub struct ChunkTuning {
+    /// The chosen chunk factor.
+    pub best: usize,
+    /// The measured curve: `(chunk factor, simulated parallel time)` — the
+    /// data behind Figure 5.
+    pub curve: Vec<(usize, f64)>,
+}
+
+/// Runs the iterative-doubling chunk search for `model` (+ optional
+/// reduction) with `workers` workers.
+pub fn tune_chunk(
+    target: &dyn InferTarget,
+    model: Model,
+    reduction: Option<(String, RedOp)>,
+    workers: usize,
+) -> ChunkTuning {
+    let mut curve = Vec::new();
+    let mut best = 1usize;
+    let mut best_time = f64::INFINITY;
+    let mut degradations = 0u32;
+    let mut prev_time = f64::INFINITY;
+    let mut cf = 1usize;
+    while degradations < 2 && cf <= 1 << 14 {
+        let mut probe = Probe::new(model, workers, cf);
+        probe.reduction = reduction.clone();
+        let time = match quiet_panics(|| target.run_probe(&probe)) {
+            Ok(run) => run.clock.par_units,
+            Err(_) => f64::INFINITY,
+        };
+        curve.push((cf, time));
+        if time < best_time {
+            best_time = time;
+            best = cf;
+        }
+        if time > prev_time {
+            degradations += 1;
+        } else {
+            degradations = 0;
+        }
+        prev_time = time;
+        cf *= 2;
+    }
+    ChunkTuning { best, curve }
+}

@@ -1,0 +1,226 @@
+//! The annotation inference algorithm (paper §5).
+//!
+//! "ALTER creates many different versions, each containing a single
+//! annotation on a single loop … runs each of these programs on every input
+//! in the test suite … Those versions matching the output of the unmodified
+//! sequential version are presented to the user as annotations that are
+//! likely valid."
+
+use crate::outcome::Outcome;
+use crate::target::{InferTarget, Model, Probe, ProgramOutput};
+use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError};
+
+/// Tunables of the inference engine, with the paper's defaults.
+#[derive(Clone, Debug)]
+pub struct InferConfig {
+    /// Workers used during probing.
+    pub workers: usize,
+    /// Chunk factor during probing — "fixing the chunk factor at 16" (§5).
+    pub chunk: usize,
+    /// Timeout threshold: "more than 10 times the sequential execution
+    /// time" (§5).
+    pub timeout_factor: f64,
+    /// High-conflict threshold: "more than 50% of the attempted commits
+    /// fail" (§5).
+    pub high_conflict_threshold: f64,
+    /// Per-transaction tracked-memory budget (emulates physical memory).
+    pub budget_words: u64,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        InferConfig {
+            workers: 4,
+            chunk: 16,
+            timeout_factor: 10.0,
+            high_conflict_threshold: 0.5,
+            budget_words: 1 << 22, // 4M words = 32 MiB of tracked state
+        }
+    }
+}
+
+/// Result of probing one reduction candidate.
+#[derive(Clone, Debug)]
+pub struct ReductionResult {
+    /// Model the reduction was combined with.
+    pub model: Model,
+    /// Variable name.
+    pub var: String,
+    /// Operator.
+    pub op: RedOp,
+    /// Classified outcome.
+    pub outcome: Outcome,
+}
+
+/// The complete inference result for one benchmark — one row of Table 3.
+#[derive(Clone, Debug)]
+pub struct InferReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Loop-carried dependence check (the Dep column).
+    pub dep: DepReport,
+    /// Outcome under thread-level speculation.
+    pub tls: Outcome,
+    /// Outcome under `[OutOfOrder]` (no reductions).
+    pub out_of_order: Outcome,
+    /// Outcome under `[StaleReads]` (no reductions).
+    pub stale_reads: Outcome,
+    /// Outcomes of the bounded reduction search (empty when a policy-only
+    /// annotation already succeeded).
+    pub reductions: Vec<ReductionResult>,
+    /// Annotation strings that preserved the program output.
+    pub valid_annotations: Vec<String>,
+}
+
+impl InferReport {
+    /// The reduction suggestions that succeeded, e.g. `["+", "max"]` for
+    /// SG3D.
+    pub fn successful_reductions(&self) -> Vec<&ReductionResult> {
+        self.reductions
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .collect()
+    }
+
+    /// The Table 3 "Reduction" cell: operators that worked, or `N/A`.
+    pub fn reduction_cell(&self) -> String {
+        let mut ops: Vec<String> = Vec::new();
+        for r in self.successful_reductions() {
+            let s = r.op.to_string();
+            if !ops.contains(&s) {
+                ops.push(s);
+            }
+        }
+        if ops.is_empty() {
+            "N/A".to_owned()
+        } else {
+            ops.join("/")
+        }
+    }
+}
+
+/// Classifies a probe result per §5. The timeout check compares the
+/// simulated parallel time against the run's own sequential-work clock
+/// ("more than 10 times the sequential execution time"); the high-conflict
+/// check uses the retry rate ("more than 50% of the attempted commits
+/// fail").
+pub fn classify(
+    target: &dyn InferTarget,
+    reference: &ProgramOutput,
+    result: Result<crate::target::ProbeRun, RunError>,
+    cfg: &InferConfig,
+) -> Outcome {
+    match result {
+        Err(RunError::Crash(msg)) => Outcome::Crash(msg),
+        Err(RunError::OutOfMemory { .. }) => Outcome::OutOfMemory,
+        Err(RunError::WorkBudgetExceeded { .. }) => Outcome::Timeout,
+        Ok(run) => {
+            if run.clock.par_units > cfg.timeout_factor * run.clock.seq_units.max(1.0) {
+                Outcome::Timeout
+            } else if run.stats.retry_rate() > cfg.high_conflict_threshold {
+                Outcome::HighConflicts
+            } else if target.validate(reference, &run.output) {
+                Outcome::Success
+            } else {
+                Outcome::OutputMismatch
+            }
+        }
+    }
+}
+
+fn probe_outcome(
+    target: &dyn InferTarget,
+    reference: &ProgramOutput,
+    probe: &Probe,
+    cfg: &InferConfig,
+) -> Outcome {
+    let result = quiet_panics(|| target.run_probe(probe));
+    classify(target, reference, result, cfg)
+}
+
+/// Measures the sequential cost of the program in cost units, by running
+/// the target loop single-worker without conflict checking (semantically
+/// sequential).
+fn sequential_cost(target: &dyn InferTarget, cfg: &InferConfig) -> u64 {
+    let probe = Probe::new(Model::Doall, 1, cfg.chunk);
+    match quiet_panics(|| target.run_probe(&probe)) {
+        Ok(run) => run.stats.cost_units().max(1),
+        // If even the sequential replay fails, fall back to an arbitrary
+        // budget; every probe will fail anyway and be reported as such.
+        Err(_) => 1 << 20,
+    }
+}
+
+/// Runs the full inference algorithm on one target: dependence check, the
+/// three Table 3 models, and — if no policy-only annotation succeeds — the
+/// bounded reduction search over the target's candidate variables and the
+/// six operators.
+pub fn infer(target: &dyn InferTarget, cfg: &InferConfig) -> InferReport {
+    let reference = target.run_sequential();
+    let seq_cost = sequential_cost(target, cfg);
+    // Hard safety net: a parallel run re-executes at most `workers`× the
+    // sequential work under the lock-step protocol, so anything beyond
+    // workers × factor × sequential is a runaway.
+    let work_budget = (seq_cost as f64 * cfg.timeout_factor * cfg.workers as f64) as u64;
+
+    let dep = target.probe_dependences();
+
+    let budget_words = target.tracked_budget_words().unwrap_or(cfg.budget_words);
+    let run_model = |model: Model, reduction: Option<(String, RedOp)>| {
+        let mut probe = Probe::new(model, cfg.workers, cfg.chunk);
+        probe.reduction = reduction;
+        probe.budget_words = budget_words;
+        probe.work_budget = Some(work_budget);
+        (
+            probe.describe(),
+            probe_outcome(target, &reference, &probe, cfg),
+        )
+    };
+
+    let (tls_desc, tls) = run_model(Model::Tls, None);
+    let (ooo_desc, out_of_order) = run_model(Model::OutOfOrder, None);
+    let (stale_desc, stale_reads) = run_model(Model::StaleReads, None);
+
+    let mut valid_annotations = Vec::new();
+    for (desc, outcome) in [
+        (tls_desc, &tls),
+        (ooo_desc, &out_of_order),
+        (stale_desc, &stale_reads),
+    ] {
+        if outcome.is_success() {
+            valid_annotations.push(format!("[{desc}]"));
+        }
+    }
+
+    // "A search for a valid reduction is performed only if none of the
+    // annotations of the form (P, ε) are valid" (§5).
+    let mut reductions = Vec::new();
+    if !out_of_order.is_success() && !stale_reads.is_success() {
+        for var in target.reduction_candidates() {
+            for op in RedOp::ALL {
+                for model in [Model::OutOfOrder, Model::StaleReads] {
+                    let (desc, outcome) = run_model(model, Some((var.clone(), op)));
+                    if outcome.is_success() {
+                        valid_annotations.push(format!("[{desc}]"));
+                    }
+                    reductions.push(ReductionResult {
+                        model,
+                        var: var.clone(),
+                        op,
+                        outcome,
+                    });
+                }
+            }
+        }
+    }
+
+    InferReport {
+        name: target.name().to_owned(),
+        dep,
+        tls,
+        out_of_order,
+        stale_reads,
+        reductions,
+        valid_annotations,
+    }
+}

@@ -1,0 +1,86 @@
+//! Classification of probe outcomes (paper §5).
+//!
+//! "For each annotation, the reported outcome is one of the following:
+//! success, failure ∈ (crash, timeout, high conflicts, output mismatch)."
+
+use std::fmt;
+
+/// The outcome of running one candidate annotation on one test input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The execution produced output matching the sequential reference
+    /// (under the program-specific validator).
+    Success,
+    /// The program crashed (a panic in the loop body).
+    Crash(String),
+    /// The runtime ran out of memory tracking access sets — reported as a
+    /// crash in the paper's Table 3 (AggloClust under TLS/OutOfOrder).
+    OutOfMemory,
+    /// Execution exceeded 10× the sequential cost (the paper's timeout).
+    Timeout,
+    /// More than half of all attempted commits failed — "correlated with
+    /// performance degradation and hence we deem them as failures".
+    HighConflicts,
+    /// An output was produced but the validator rejected it.
+    OutputMismatch,
+}
+
+impl Outcome {
+    /// Whether the annotation is considered valid.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success)
+    }
+
+    /// The short label used in Table 3 (`success`, `crash`, `timeout`,
+    /// `h.c.`, `mismatch`). Out-of-memory aborts print as `crash`, as in
+    /// the paper.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Outcome::Success => "success",
+            Outcome::Crash(_) | Outcome::OutOfMemory => "crash",
+            Outcome::Timeout => "timeout",
+            Outcome::HighConflicts => "h.c.",
+            Outcome::OutputMismatch => "mismatch",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Outcome::Success.short(), "success");
+        assert_eq!(Outcome::Crash("x".into()).short(), "crash");
+        assert_eq!(Outcome::OutOfMemory.short(), "crash");
+        assert_eq!(Outcome::Timeout.short(), "timeout");
+        assert_eq!(Outcome::HighConflicts.short(), "h.c.");
+        assert_eq!(Outcome::OutputMismatch.short(), "mismatch");
+    }
+
+    #[test]
+    fn only_success_is_success() {
+        assert!(Outcome::Success.is_success());
+        for o in [
+            Outcome::Crash(String::new()),
+            Outcome::OutOfMemory,
+            Outcome::Timeout,
+            Outcome::HighConflicts,
+            Outcome::OutputMismatch,
+        ] {
+            assert!(!o.is_success());
+        }
+    }
+
+    #[test]
+    fn display_uses_short_labels() {
+        assert_eq!(Outcome::HighConflicts.to_string(), "h.c.");
+    }
+}

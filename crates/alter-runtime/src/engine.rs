@@ -1,0 +1,870 @@
+//! The deterministic fork-join engine (paper §4.1, Figure 4; determinism
+//! argument §4.3).
+//!
+//! Execution proceeds in lock-step rounds. Each round:
+//!
+//! 1. takes one snapshot of the committed memory state (the analogue of
+//!    re-establishing N copy-on-write mappings);
+//! 2. assigns up to N chunk-transactions — retries first, then fresh chunks
+//!    from the iteration space — to workers in deterministic order;
+//! 3. executes them in isolation (in parallel under the threaded driver,
+//!    sequentially otherwise — the results are identical by construction);
+//! 4. validates and commits in ascending task order (the paper's "ascending
+//!    order of child pids"): a task commits iff its sets do not conflict,
+//!    under the active [`ConflictPolicy`], with the write sets of tasks that
+//!    committed *earlier in the same round* (earlier rounds are already in
+//!    the snapshot). Failed tasks re-execute next round; under
+//!    [`CommitOrder::InOrder`] a failure also squashes every later task in
+//!    the round, which is what makes `RAW + InOrder` equivalent to
+//!    sequential execution (Theorem 4.3).
+//!
+//! Determinism follows exactly as in the paper: isolated executions, a
+//! barrier between execution and commit, deterministic commit order, and
+//! conflict detection that is a pure function of the (deterministic) sets.
+
+use crate::body::{LoopBody, TxCtx};
+use crate::params::{CommitOrder, ConflictPolicy, ExecParams};
+use crate::reduction::{RedDelta, RedLocals, RedVars};
+use crate::space::IterSpace;
+use alter_heap::{
+    AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, Snapshot, TrackMode, Tx, TxEffects,
+    TxStats,
+};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a loop execution was aborted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// A loop body panicked; the payload message is preserved.
+    Crash(String),
+    /// A transaction exceeded the tracked-memory budget — the analogue of
+    /// the paper's out-of-memory crashes on very large read sets (§7.1).
+    OutOfMemory {
+        /// Words tracked when the budget tripped.
+        words: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// Total executed cost exceeded the work budget — the analogue of the
+    /// paper's 10×-sequential timeout (§5).
+    WorkBudgetExceeded {
+        /// Cost units spent.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Crash(msg) => write!(f, "loop body crashed: {msg}"),
+            RunError::OutOfMemory { words, budget } => write!(
+                f,
+                "transaction tracked {words} words, exceeding the {budget}-word budget"
+            ),
+            RunError::WorkBudgetExceeded { spent, budget } => {
+                write!(f, "run spent {spent} cost units, exceeding budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Aggregate statistics of one loop execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Lock-step rounds executed.
+    pub rounds: u64,
+    /// Transactions executed, including retried and squashed ones.
+    pub attempts: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Loop iterations committed.
+    pub iterations: u64,
+    /// Operation counters summed over all attempts.
+    pub tx_stats: TxStats,
+    /// Sum over attempts of tracked read+write set words.
+    pub tracked_words: u64,
+    /// Largest tracked read+write set of any single attempt.
+    pub max_tracked_words: u64,
+    /// Words compared during conflict validation.
+    pub validate_words: u64,
+}
+
+impl RunStats {
+    /// Attempts that failed validation (the paper's retry count).
+    pub fn retries(&self) -> u64 {
+        self.attempts - self.committed
+    }
+
+    /// Fraction of attempts that failed to commit (Table 4's "Retry Rate").
+    pub fn retry_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.retries() as f64 / self.attempts as f64
+        }
+    }
+
+    /// Average tracked read+write set size per transaction, in words
+    /// (Table 4's "RW Set / Trans.").
+    pub fn avg_rw_words(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.tracked_words as f64 / self.attempts as f64
+        }
+    }
+
+    /// Total cost units: declared work plus instrumented words moved. This
+    /// is the measure the work budget limits, and the basic currency of the
+    /// virtual-time cost model.
+    pub fn cost_units(&self) -> u64 {
+        self.tx_stats.work + self.tx_stats.read_words + self.tx_stats.write_words
+    }
+
+    /// Accumulates another run's statistics (for multi-sweep convergence
+    /// loops that call the engine repeatedly).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.attempts += other.attempts;
+        self.committed += other.committed;
+        self.iterations += other.iterations;
+        self.tx_stats.add(&other.tx_stats);
+        self.tracked_words += other.tracked_words;
+        self.max_tracked_words = self.max_tracked_words.max(other.max_tracked_words);
+        self.validate_words += other.validate_words;
+    }
+}
+
+/// Per-transaction record handed to [`RoundObserver`]s (the simulator's
+/// input).
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Program-order chunk sequence number.
+    pub seq: u64,
+    /// Worker the task ran on.
+    pub worker: usize,
+    /// Iterations in the chunk.
+    pub iters: u32,
+    /// Whether the task committed this round.
+    pub committed: bool,
+    /// Whether the task was squashed by an earlier in-order failure (as
+    /// opposed to failing validation itself).
+    pub squashed: bool,
+    /// Operation counters of the execution.
+    pub stats: TxStats,
+    /// Tracked read-set words.
+    pub read_words: u64,
+    /// Tracked write-set words.
+    pub write_words: u64,
+    /// Words this task's validation compared against earlier write sets.
+    pub validate_words: u64,
+    /// Read operations that actually executed instrumentation (0 when the
+    /// conflict policy elides read tracking — the StaleReads fast path).
+    pub instr_read_ops: u64,
+    /// Write operations that executed instrumentation.
+    pub instr_write_ops: u64,
+    /// Words materialized in the private copy-on-write overlay (whole
+    /// objects, even for one-word writes — the page-copy analogue).
+    pub overlay_words: u64,
+    /// Words in objects allocated by the task.
+    pub alloc_words: u64,
+    /// Maximal ranges in the write set (≈ pages dirtied, for the
+    /// copy-on-write cost model).
+    pub write_ranges: u64,
+}
+
+/// One lock-step round, as seen by a [`RoundObserver`].
+#[derive(Debug)]
+pub struct RoundReport<'a> {
+    /// Round index within the run (0-based).
+    pub round: u64,
+    /// The tasks of the round, in commit-validation order.
+    pub tasks: &'a [TaskReport],
+    /// Slots visible to the round's snapshot (snapshot establishment cost).
+    pub snapshot_slots: usize,
+}
+
+/// Hook invoked after each round — the virtual-time simulator implements
+/// this to charge costs without perturbing execution.
+pub trait RoundObserver {
+    /// Called once per completed round.
+    fn on_round(&mut self, report: &RoundReport<'_>);
+}
+
+/// An observer that ignores everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl RoundObserver for NullObserver {
+    fn on_round(&mut self, _report: &RoundReport<'_>) {}
+}
+
+#[derive(Debug)]
+struct PendingTask {
+    seq: u64,
+    iters: Vec<u64>,
+}
+
+enum TaskPanic {
+    Oom(MemoryExceeded),
+    Crash(String),
+}
+
+type TaskOutcome = Result<(TxEffects, Vec<RedDelta>), TaskPanic>;
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_task<B: LoopBody + ?Sized>(
+    snap: &Snapshot,
+    task: &PendingTask,
+    worker: usize,
+    base: u32,
+    params: &ExecParams,
+    reds: &RedVars,
+    mode: TrackMode,
+    body: &B,
+) -> TaskOutcome {
+    let ids = IdReservation::new(base, worker, params.workers, params.alloc_block);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let tx = Tx::new(snap, mode, ids, params.budget_words);
+        let locals = RedLocals::for_policy(&params.reductions, reds);
+        let mut ctx = TxCtx::new(tx, locals);
+        for &i in &task.iters {
+            body.run_iter(&mut ctx, i);
+        }
+        let (tx, locals) = ctx.into_parts();
+        (tx.finish(), locals.into_deltas())
+    }));
+    result.map_err(|payload| {
+        if let Some(me) = payload.downcast_ref::<MemoryExceeded>() {
+            TaskPanic::Oom(*me)
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            TaskPanic::Crash((*s).to_owned())
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            TaskPanic::Crash(s.clone())
+        } else {
+            TaskPanic::Crash("non-string panic payload".to_owned())
+        }
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_round<B: LoopBody>(
+    threaded: bool,
+    snap: &Snapshot,
+    tasks: &[PendingTask],
+    base: u32,
+    params: &ExecParams,
+    reds: &RedVars,
+    mode: TrackMode,
+    body: &B,
+) -> Vec<TaskOutcome> {
+    if threaded && tasks.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .iter()
+                .enumerate()
+                .map(|(worker, task)| {
+                    scope.spawn(move || {
+                        run_one_task(snap, task, worker, base, params, reds, mode, body)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread itself must not panic"))
+                .collect()
+        })
+    } else {
+        tasks
+            .iter()
+            .enumerate()
+            .map(|(worker, task)| run_one_task(snap, task, worker, base, params, reds, mode, body))
+            .collect()
+    }
+}
+
+fn conflicts_with(policy: ConflictPolicy, effects: &TxEffects, earlier_writes: &AccessSet) -> bool {
+    match policy {
+        ConflictPolicy::Full => {
+            effects.reads.overlaps(earlier_writes) || effects.writes.overlaps(earlier_writes)
+        }
+        ConflictPolicy::Waw => effects.writes.overlaps(earlier_writes),
+        ConflictPolicy::Raw => effects.reads.overlaps(earlier_writes),
+        ConflictPolicy::None => false,
+    }
+}
+
+pub(crate) fn build_commit_ops(mut effects: TxEffects, mode: TrackMode) -> CommitOps {
+    let mut ops = CommitOps::default();
+    if mode == TrackMode::None {
+        // No per-range tracking: commit whole private objects, in id order.
+        let mut ids: Vec<_> = effects.overlay.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let data = effects.overlay.remove(&id).expect("key just listed");
+            let hi = data.len() as u32;
+            ops.writes.push((id, 0, hi, Arc::new(data)));
+        }
+    } else {
+        for (id, ranges) in effects.writes.iter_sorted() {
+            // Freed objects appear in the write set (a free conflicts like a
+            // whole-object write) but have no overlay payload to merge.
+            let Some(data) = effects.overlay.remove(&id) else {
+                continue;
+            };
+            let arc = Arc::new(data);
+            for (lo, hi) in ranges.iter() {
+                ops.writes.push((id, lo, hi, Arc::clone(&arc)));
+            }
+        }
+    }
+    ops.allocs = effects
+        .allocs
+        .into_iter()
+        .map(|(id, data)| (id, Arc::new(data)))
+        .collect();
+    ops.frees = effects.frees;
+    ops.frees.sort_unstable();
+    ops
+}
+
+/// Runs an annotated loop to completion. This is the engine entry point;
+/// prefer the [`crate::run_loop`] / [`crate::LoopBuilder`] wrappers.
+pub(crate) fn run_loop_engine<B: LoopBody>(
+    heap: &mut Heap,
+    reds: &mut RedVars,
+    space: &mut dyn IterSpace,
+    params: &ExecParams,
+    threaded: bool,
+    body: &B,
+    observer: &mut dyn RoundObserver,
+) -> Result<RunStats, RunError> {
+    assert!(params.workers >= 1, "need at least one worker");
+    let mode = params.conflict.track_mode();
+    let mut stats = RunStats::default();
+    let mut pending: VecDeque<PendingTask> = VecDeque::new();
+    let mut next_seq: u64 = 0;
+    let mut reports: Vec<TaskReport> = Vec::new();
+
+    loop {
+        // Assemble the round: retries first (lowest seq first — they are
+        // already in order), then fresh chunks.
+        let mut tasks: Vec<PendingTask> = pending.drain(..).collect();
+        while tasks.len() < params.workers && !space.is_exhausted() {
+            let iters = space.next_chunk(params.chunk);
+            if iters.is_empty() {
+                break;
+            }
+            tasks.push(PendingTask {
+                seq: next_seq,
+                iters,
+            });
+            next_seq += 1;
+        }
+        if tasks.is_empty() {
+            break;
+        }
+
+        let snap = heap.snapshot();
+        let base = heap.high_water();
+        let outcomes = execute_round(threaded, &snap, &tasks, base, params, reds, mode, body);
+
+        // Validate and commit in deterministic task order.
+        let mut round_writes: Vec<AccessSet> = Vec::new();
+        let mut squash = false;
+        reports.clear();
+        for (worker, (task, outcome)) in tasks.into_iter().zip(outcomes).enumerate() {
+            let (effects, deltas) = match outcome {
+                Ok(v) => v,
+                Err(TaskPanic::Oom(me)) => {
+                    return Err(RunError::OutOfMemory {
+                        words: me.words,
+                        budget: me.budget,
+                    })
+                }
+                Err(TaskPanic::Crash(msg)) => return Err(RunError::Crash(msg)),
+            };
+
+            stats.attempts += 1;
+            stats.tx_stats.add(&effects.stats);
+            let tracked = effects.reads.words() + effects.writes.words();
+            stats.tracked_words += tracked;
+            stats.max_tracked_words = stats.max_tracked_words.max(tracked);
+
+            let mut validate_words = 0;
+            let mut conflict = false;
+            if !squash {
+                for earlier in &round_writes {
+                    validate_words += earlier.words().min(tracked);
+                    if conflicts_with(params.conflict, &effects, earlier) {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+            stats.validate_words += validate_words;
+
+            let mut report = TaskReport {
+                seq: task.seq,
+                worker,
+                iters: task.iters.len() as u32,
+                committed: false,
+                squashed: squash,
+                stats: effects.stats,
+                read_words: effects.reads.words(),
+                write_words: effects.writes.words(),
+                validate_words,
+                instr_read_ops: if mode.tracks_reads() {
+                    effects.stats.read_ops
+                } else {
+                    0
+                },
+                instr_write_ops: if mode.tracks_writes() {
+                    effects.stats.write_ops
+                } else {
+                    0
+                },
+                overlay_words: effects.overlay.values().map(|o| o.len() as u64).sum(),
+                alloc_words: effects.allocs.iter().map(|(_, o)| o.len() as u64).sum(),
+                write_ranges: effects.writes.range_count() as u64,
+            };
+
+            if squash || conflict {
+                if conflict && params.order == CommitOrder::InOrder {
+                    squash = true;
+                }
+                pending.push_back(task);
+            } else {
+                report.committed = true;
+                stats.committed += 1;
+                stats.iterations += task.iters.len() as u64;
+                // A type-mismatched reduction (e.g. a boolean operator on a
+                // float variable) is an invalid annotation; report it as a
+                // crash of the candidate program rather than unwinding.
+                let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for d in &deltas {
+                        reds.merge(d);
+                    }
+                }));
+                if let Err(payload) = merged {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                        .unwrap_or_else(|| "reduction merge failed".to_owned());
+                    return Err(RunError::Crash(msg));
+                }
+                let writes = effects.writes.clone();
+                heap.apply_commit(build_commit_ops(effects, mode));
+                round_writes.push(writes);
+            }
+            reports.push(report);
+        }
+
+        stats.rounds += 1;
+        observer.on_round(&RoundReport {
+            round: stats.rounds - 1,
+            tasks: &reports,
+            snapshot_slots: snap.slot_count(),
+        });
+
+        if let Some(budget) = params.work_budget {
+            let spent = stats.cost_units();
+            if spent > budget {
+                return Err(RunError::WorkBudgetExceeded { spent, budget });
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::RedOp;
+    use crate::reduction::RedVal;
+    use crate::space::RangeSpace;
+    use alter_heap::ObjData;
+
+    fn params(
+        workers: usize,
+        chunk: usize,
+        conflict: ConflictPolicy,
+        order: CommitOrder,
+    ) -> ExecParams {
+        let mut p = ExecParams::new(workers, chunk);
+        p.conflict = conflict;
+        p.order = order;
+        p
+    }
+
+    /// A DOALL loop: every iteration writes its own element.
+    #[test]
+    fn doall_loop_commits_everything_first_try() {
+        for threaded in [false, true] {
+            let mut heap = Heap::new();
+            let xs = heap.alloc(ObjData::zeros_f64(16));
+            let mut reds = RedVars::new();
+            let p = params(4, 2, ConflictPolicy::None, CommitOrder::OutOfOrder);
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 16),
+                &p,
+                threaded,
+                &|ctx: &mut TxCtx<'_>, i: u64| {
+                    ctx.tx.write_f64(xs, i as usize, i as f64 * 2.0);
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            assert_eq!(stats.committed, 8, "16 iters / cf 2");
+            assert_eq!(stats.iterations, 16);
+            assert_eq!(stats.retries(), 0);
+            assert_eq!(stats.rounds, 2, "8 chunks / 4 workers");
+            let expect: Vec<f64> = (0..16).map(|i| i as f64 * 2.0).collect();
+            assert_eq!(heap.get(xs).f64s(), &expect[..], "threaded={threaded}");
+        }
+    }
+
+    /// All iterations RMW one counter: WAW conflicts force serialization,
+    /// one commit per round, but the result equals the sequential sum.
+    #[test]
+    fn waw_conflicts_serialize_but_preserve_sum() {
+        let mut heap = Heap::new();
+        let counter = heap.alloc(ObjData::scalar_i64(0));
+        let mut reds = RedVars::new();
+        let p = params(4, 1, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+        let stats = run_loop_engine(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(0, 8),
+            &p,
+            false,
+            &|ctx: &mut TxCtx<'_>, _i| {
+                let v = ctx.tx.read_i64(counter, 0);
+                ctx.tx.write_i64(counter, 0, v + 1);
+            },
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert_eq!(heap.get(counter).i64s()[0], 8);
+        assert!(stats.retries() > 0, "conflicts must have occurred");
+        assert_eq!(stats.committed, 8);
+    }
+
+    /// Under TLS (RAW + InOrder) the result must match sequential semantics
+    /// even for an order-sensitive loop.
+    #[test]
+    fn tls_matches_sequential_semantics() {
+        // x[i] = x[i-1] + 1 — a tight dependence chain.
+        let run = |p: &ExecParams| {
+            let mut heap = Heap::new();
+            let xs = heap.alloc(ObjData::zeros_i64(12));
+            let mut reds = RedVars::new();
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(1, 12),
+                p,
+                false,
+                &|ctx: &mut TxCtx<'_>, i| {
+                    let prev = ctx.tx.read_i64(xs, i as usize - 1);
+                    ctx.tx.write_i64(xs, i as usize, prev + 1);
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            (heap.get(xs).i64s().to_vec(), stats)
+        };
+        let p = params(4, 1, ConflictPolicy::Raw, CommitOrder::InOrder);
+        let (xs, stats) = run(&p);
+        let expect: Vec<i64> = (0..12).collect();
+        assert_eq!(xs, expect);
+        assert!(
+            stats.retries() > 0,
+            "speculation must have failed sometimes"
+        );
+    }
+
+    /// StaleReads (WAW) lets the same dependence chain commit in one round
+    /// with broken RAW dependences — values are stale but writes disjoint.
+    #[test]
+    fn stalereads_breaks_raw_dependences_without_retries() {
+        let mut heap = Heap::new();
+        let xs = heap.alloc(ObjData::zeros_i64(8));
+        let mut reds = RedVars::new();
+        let p = params(4, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+        let stats = run_loop_engine(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(1, 8),
+            &p,
+            false,
+            &|ctx: &mut TxCtx<'_>, i| {
+                let prev = ctx.tx.read_i64(xs, i as usize - 1);
+                ctx.tx.write_i64(xs, i as usize, prev + 1);
+            },
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert_eq!(
+            stats.retries(),
+            0,
+            "disjoint writes: snapshot isolation is conflict-free"
+        );
+        // Stale reads: each chunk saw zeros for the previous chunk's cells.
+        let xs = heap.get(xs).i64s().to_vec();
+        assert_ne!(
+            xs,
+            (0..8).collect::<Vec<i64>>(),
+            "sequential chain must be broken"
+        );
+        assert_eq!(xs[1], 1, "first iteration read committed x[0]=0");
+    }
+
+    /// Reductions merge in deterministic commit order and match the serial
+    /// fold.
+    #[test]
+    fn reduction_sums_match_serial_fold() {
+        for threaded in [false, true] {
+            let mut heap = Heap::new();
+            let _pad = heap.alloc(ObjData::scalar_i64(0));
+            let mut reds = RedVars::new();
+            let delta = reds.declare("delta", RedVal::F64(0.0));
+            let mut p = params(3, 4, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            p.reductions = vec![(delta, RedOp::Add)];
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 100),
+                &p,
+                threaded,
+                &|ctx: &mut TxCtx<'_>, i| {
+                    ctx.red_add(delta, i as f64);
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            assert_eq!(reds.get(delta).as_f64(), 4950.0);
+            assert_eq!(stats.retries(), 0, "reduction variables never conflict");
+        }
+    }
+
+    /// The engine reports crashes as RunError::Crash with the message.
+    #[test]
+    fn body_panic_becomes_crash_error() {
+        crate::quiet::quiet_panics(|| {
+            let mut heap = Heap::new();
+            let mut reds = RedVars::new();
+            let p = params(2, 1, ConflictPolicy::None, CommitOrder::OutOfOrder);
+            let err = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 4),
+                &p,
+                false,
+                &|_ctx: &mut TxCtx<'_>, i| {
+                    if i == 2 {
+                        panic!("iteration exploded");
+                    }
+                },
+                &mut NullObserver,
+            )
+            .unwrap_err();
+            assert!(matches!(err, RunError::Crash(ref m) if m.contains("exploded")));
+        });
+    }
+
+    /// Tracked-memory budget violations become OutOfMemory.
+    #[test]
+    fn memory_budget_becomes_oom_error() {
+        crate::quiet::quiet_panics(|| {
+            let mut heap = Heap::new();
+            let big = heap.alloc(ObjData::zeros_f64(1000));
+            let mut reds = RedVars::new();
+            let mut p = params(2, 1, ConflictPolicy::Raw, CommitOrder::OutOfOrder);
+            p.budget_words = 100;
+            let err = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 4),
+                &p,
+                false,
+                &|ctx: &mut TxCtx<'_>, _i| {
+                    ctx.tx.with_f64s(big, 0, 1000, |_| {});
+                },
+                &mut NullObserver,
+            )
+            .unwrap_err();
+            assert!(matches!(err, RunError::OutOfMemory { budget: 100, .. }));
+        });
+    }
+
+    /// Work-budget violations become WorkBudgetExceeded (timeout analogue).
+    #[test]
+    fn work_budget_becomes_timeout_error() {
+        let mut heap = Heap::new();
+        let mut reds = RedVars::new();
+        let mut p = params(2, 1, ConflictPolicy::None, CommitOrder::OutOfOrder);
+        p.work_budget = Some(10);
+        let err = run_loop_engine(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(0, 100),
+            &p,
+            false,
+            &|ctx: &mut TxCtx<'_>, _i| ctx.tx.work(100),
+            &mut NullObserver,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::WorkBudgetExceeded { budget: 10, .. }
+        ));
+    }
+
+    /// Transactional allocation installs objects at commit with stable ids.
+    #[test]
+    fn transactional_allocation_survives_commit() {
+        let mut heap = Heap::new();
+        let table = heap.alloc(ObjData::zeros_i64(8));
+        let mut reds = RedVars::new();
+        let p = params(4, 1, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+        run_loop_engine(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(0, 8),
+            &p,
+            false,
+            &|ctx: &mut TxCtx<'_>, i| {
+                let node = ctx.tx.alloc(ObjData::scalar_i64(i as i64 * 10));
+                ctx.tx.write_i64(table, i as usize, node.to_i64());
+            },
+            &mut NullObserver,
+        )
+        .unwrap();
+        for i in 0..8 {
+            let id = alter_heap::ObjId::from_i64(heap.get(table).i64s()[i]);
+            assert_eq!(heap.get(id).i64s()[0], i as i64 * 10);
+        }
+        assert_eq!(heap.live_objects(), 9);
+    }
+
+    /// Allocations made by transactions that later abort are abandoned;
+    /// their retries allocate fresh ids and nothing ever collides.
+    #[test]
+    fn aborted_allocations_never_collide() {
+        let mut heap = Heap::new();
+        let table = heap.alloc(ObjData::zeros_i64(12));
+        let hot = heap.alloc(ObjData::scalar_i64(0));
+        let mut reds = RedVars::new();
+        let p = params(4, 1, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+        let stats = run_loop_engine(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(0, 12),
+            &p,
+            false,
+            &|ctx: &mut TxCtx<'_>, i| {
+                // Everyone contends on `hot`, so most attempts abort after
+                // allocating; the committed attempt's node must be unique.
+                let node = ctx.tx.alloc(ObjData::scalar_i64(i as i64));
+                ctx.tx.write_i64(table, i as usize, node.to_i64());
+                let v = ctx.tx.read_i64(hot, 0);
+                ctx.tx.write_i64(hot, 0, v + 1);
+            },
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert!(stats.retries() > 0);
+        let mut ids: Vec<i64> = (0..12).map(|i| heap.get(table).i64s()[i]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "every committed node id is distinct");
+        for (i, raw) in (0..12).map(|i| (i, heap.get(table).i64s()[i])) {
+            let node = alter_heap::ObjId::from_i64(raw);
+            assert_eq!(heap.get(node).i64s()[0], i as i64);
+        }
+    }
+
+    /// The observer sees every round with per-task commit decisions.
+    #[test]
+    fn observer_receives_round_reports() {
+        struct Collect {
+            rounds: u64,
+            committed: u64,
+            attempts: u64,
+        }
+        impl RoundObserver for Collect {
+            fn on_round(&mut self, r: &RoundReport<'_>) {
+                assert_eq!(r.round, self.rounds);
+                self.rounds += 1;
+                self.attempts += r.tasks.len() as u64;
+                self.committed += r.tasks.iter().filter(|t| t.committed).count() as u64;
+            }
+        }
+        let mut heap = Heap::new();
+        let xs = heap.alloc(ObjData::zeros_f64(10));
+        let mut reds = RedVars::new();
+        let p = params(2, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+        let mut obs = Collect {
+            rounds: 0,
+            committed: 0,
+            attempts: 0,
+        };
+        let stats = run_loop_engine(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(0, 10),
+            &p,
+            false,
+            &|ctx: &mut TxCtx<'_>, i| ctx.tx.write_f64(xs, i as usize, 1.0),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(obs.rounds, stats.rounds);
+        assert_eq!(obs.attempts, stats.attempts);
+        assert_eq!(obs.committed, stats.committed);
+    }
+
+    /// Threaded and sequential drivers produce byte-identical heaps, retry
+    /// schedules and statistics — the determinism guarantee.
+    #[test]
+    fn threaded_and_sequential_drivers_are_identical() {
+        let run = |threaded: bool| {
+            let mut heap = Heap::new();
+            let xs = heap.alloc(ObjData::zeros_i64(32));
+            let shared = heap.alloc(ObjData::scalar_i64(0));
+            let mut reds = RedVars::new();
+            let p = params(4, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 32),
+                &p,
+                threaded,
+                &|ctx: &mut TxCtx<'_>, i| {
+                    let s = ctx.tx.read_i64(shared, 0);
+                    ctx.tx.write_i64(xs, i as usize, s + i as i64);
+                    if i % 5 == 0 {
+                        ctx.tx.write_i64(shared, 0, s + 1);
+                    }
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            (heap.digest(), stats)
+        };
+        let (d_seq, s_seq) = run(false);
+        let (d_thr, s_thr) = run(true);
+        assert_eq!(d_seq, d_thr, "committed state must be identical");
+        assert_eq!(s_seq, s_thr, "statistics must be identical");
+    }
+}

@@ -1,0 +1,58 @@
+//! Suppression of panic chatter from *expected* crashes.
+//!
+//! The inference engine deliberately runs annotations that crash (that is
+//! one of its five outcomes, §5). Rust's default panic hook would spam
+//! stderr for every such probe, so while a probe runs we swap in a hook
+//! that stays silent. The suppression is a process-global counter because
+//! crashes surface on engine worker threads, not the probing thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+static QUIET: AtomicUsize = AtomicUsize::new(0);
+static INSTALL: Once = Once::new();
+
+/// Runs `f` with panic messages suppressed (panics are still caught and
+/// propagated as values by the engine; only the stderr chatter is muted).
+/// Nesting is allowed; suppression ends when the outermost call returns.
+pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    INSTALL.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET.load(Ordering::Relaxed) == 0 {
+                default(info);
+            }
+        }));
+    });
+    QUIET.fetch_add(1, Ordering::Relaxed);
+    // Balance the counter even if `f` itself unwinds.
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            QUIET.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _guard = Guard;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_panics_returns_value_and_balances_counter() {
+        let v = quiet_panics(|| 42);
+        assert_eq!(v, 42);
+        assert_eq!(QUIET.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn quiet_panics_balances_on_unwind() {
+        let result = std::panic::catch_unwind(|| {
+            quiet_panics(|| panic!("expected"));
+        });
+        assert!(result.is_err());
+        assert_eq!(QUIET.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The virtual-time cost model.
+//!
+//! The paper evaluates on an 8-core Xeon; this reproduction runs on
+//! whatever machine it finds — possibly a single core — so speedup figures
+//! are regenerated on a deterministic *simulated* multicore (see DESIGN.md).
+//! The model charges each transaction for its compute work and data
+//! movement, each round for its serialized commit/validation and its
+//! barrier, and optionally caps each round at a shared memory-bandwidth
+//! ceiling. Every input comes from *measured* execution (operation counts,
+//! set sizes, retry schedules), not from assumptions about the workload.
+
+/// Cost coefficients, in abstract time units (one unit ≈ one word touched).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost per unit of compute work declared via `Tx::work`.
+    pub per_work: f64,
+    /// Cost per word read or written (raw data movement; paid by both the
+    /// sequential baseline and the parallel execution).
+    pub per_word_touch: f64,
+    /// Cost per *instrumented* access operation (the hash-set insert the
+    /// paper's `InstrumentRead`/`InstrumentWrite` perform). Elided reads
+    /// under WAW pay nothing — the source of StaleReads' advantage.
+    pub per_instr_op: f64,
+    /// Cost per word copied on write. The paper's runtime copies at page
+    /// granularity, so the simulator charges
+    /// `min(overlay, write_ranges × page + written words)` rather than the
+    /// whole private object (see [`CostModel::page_words`]).
+    pub per_cow_word: f64,
+    /// Words per copy-on-write page (the 4 KiB page of the paper's Win32
+    /// mappings = 512 words).
+    pub page_words: u64,
+    /// Cost per word merged into the committed state (serialized across
+    /// the round's committing transactions).
+    pub per_commit_word: f64,
+    /// Cost per word compared during conflict validation (serialized).
+    pub per_validate_word: f64,
+    /// Fixed cost per round: the fork-join barrier plus commit
+    /// orchestration.
+    pub barrier: f64,
+    /// Cost per heap slot to establish the round's snapshot.
+    pub per_snapshot_slot: f64,
+    /// Shared memory-bandwidth ceiling, in words per time unit across all
+    /// workers. With `per_word_touch = 1` a single worker demands 1 word
+    /// per unit, so e.g. `Some(2.5)` saturates memory-bound loops at ~2.5×
+    /// — the behaviour the paper reports for Gauss-Seidel ("memory bound
+    /// and hence do not scale well beyond 4 cores", §7.2). `None` models
+    /// compute-bound kernels.
+    pub bandwidth_words_per_unit: Option<f64>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_work: 1.0,
+            per_word_touch: 1.0,
+            per_instr_op: 4.0,
+            page_words: 512,
+            per_cow_word: 0.1,
+            per_commit_word: 0.1,
+            per_validate_word: 0.05,
+            barrier: 200.0,
+            per_snapshot_slot: 0.005,
+            bandwidth_words_per_unit: None,
+        }
+    }
+}
+
+impl CostModel {
+    /// The default model with a shared-bandwidth ceiling, for memory-bound
+    /// kernels.
+    pub fn memory_bound(bandwidth_words_per_unit: f64) -> Self {
+        CostModel {
+            bandwidth_words_per_unit: Some(bandwidth_words_per_unit),
+            ..CostModel::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_compute_bound() {
+        let m = CostModel::default();
+        assert!(m.bandwidth_words_per_unit.is_none());
+        assert!(
+            m.per_instr_op > m.per_word_touch,
+            "instrumentation dominates raw touches"
+        );
+    }
+
+    #[test]
+    fn memory_bound_sets_ceiling() {
+        let m = CostModel::memory_bound(2.5);
+        assert_eq!(m.bandwidth_words_per_unit, Some(2.5));
+        assert_eq!(m.per_work, CostModel::default().per_work);
+    }
+}

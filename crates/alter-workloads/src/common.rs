@@ -1,0 +1,88 @@
+//! Shared infrastructure for the twelve evaluation workloads.
+
+use alter_infer::{InferTarget, Model, Probe};
+use alter_runtime::RedOp;
+use alter_sim::CostModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Input scale: small inputs for annotation inference and tests, larger
+/// inputs for the speedup figures — mirroring Table 2's two input columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Inference/test inputs.
+    Inference,
+    /// Benchmarking inputs (the bold column of Table 2).
+    Paper,
+}
+
+/// A benchmark from the paper's evaluation (Table 2): an inference target
+/// plus the metadata the figure/table harness needs.
+pub trait Benchmark: InferTarget + Sync {
+    /// Fraction of program runtime spent in the target loop (Table 2's
+    /// LOOP WGT). Dilutes simulated speedups Amdahl-style.
+    fn loop_weight(&self) -> f64 {
+        1.0
+    }
+
+    /// The tuned chunk factor used for performance runs (Table 4's cf).
+    fn chunk_factor(&self) -> usize;
+
+    /// The model + reduction the paper selects for this benchmark's
+    /// speedup figures.
+    fn best_config(&self) -> (Model, Option<(String, RedOp)>);
+
+    /// The cost model for this benchmark's simulated-multicore runs
+    /// (memory-bound kernels carry a bandwidth ceiling).
+    fn cost_model(&self) -> CostModel {
+        CostModel::default()
+    }
+
+    /// Builds the probe the speedup figures run: the best configuration at
+    /// this benchmark's tuned chunk factor.
+    fn best_probe(&self, workers: usize) -> Probe {
+        let (model, reduction) = self.best_config();
+        let mut p = Probe::new(model, workers, self.chunk_factor());
+        p.reduction = reduction;
+        p
+    }
+}
+
+/// A deterministic RNG for workload input generation. Every workload
+/// derives its inputs from a fixed seed so that each probe sees identical
+/// state — the precondition for "one run per test" inference.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` uniform floats in `[lo, hi)`.
+pub fn uniform_f64s(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` uniform integers in `[0, bound)`.
+pub fn uniform_usizes(rng: &mut SmallRng, n: usize, bound: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = uniform_f64s(&mut rng(7), 5, 0.0, 1.0);
+        let b = uniform_f64s(&mut rng(7), 5, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = uniform_f64s(&mut rng(8), 5, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        let xs = uniform_f64s(&mut rng(1), 100, -2.0, 3.0);
+        assert!(xs.iter().all(|x| (-2.0..3.0).contains(x)));
+        let is = uniform_usizes(&mut rng(2), 100, 7);
+        assert!(is.iter().all(|i| *i < 7));
+    }
+}

@@ -1,0 +1,137 @@
+//! Model-based property tests for the ALTER collection classes: the
+//! transactional structures must behave exactly like their std
+//! counterparts under arbitrary operation sequences.
+
+use alter::collections::{AlterHashSet, AlterList, AlterVec};
+use alter::heap::{Heap, ObjId};
+use alter::runtime::{Driver, ExecParams, LoopBuilder};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Sequential list operations, applied to both AlterList and a Vec model.
+#[derive(Clone, Debug)]
+enum ListOp {
+    PushBack(i64),
+    /// Remove the k-th live node (mod current length).
+    Remove(usize),
+}
+
+fn list_op_strategy() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(ListOp::PushBack),
+        (0usize..64).prop_map(ListOp::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// AlterList behaves as a `Vec` model under arbitrary push/remove
+    /// sequences (sequential API).
+    #[test]
+    fn alter_list_matches_vec_model(ops in prop::collection::vec(list_op_strategy(), 0..48)) {
+        let mut heap = Heap::new();
+        let list: AlterList<i64> = AlterList::new(&mut heap);
+        let mut model: Vec<i64> = Vec::new();
+        for op in ops {
+            match op {
+                ListOp::PushBack(v) => {
+                    list.push_back(&mut heap, v);
+                    model.push(v);
+                }
+                ListOp::Remove(k) => {
+                    if !model.is_empty() {
+                        let k = k % model.len();
+                        let node = ObjId::from_index(list.node_ids(&heap)[k] as u32);
+                        list.seq_remove(&mut heap, node);
+                        model.remove(k);
+                    }
+                }
+            }
+            prop_assert_eq!(list.seq_values(&heap), model.clone());
+            prop_assert_eq!(list.len(&heap), model.len());
+            prop_assert_eq!(list.is_empty(&heap), model.is_empty());
+        }
+    }
+
+    /// AlterHashSet agrees with `std::collections::HashSet` on membership
+    /// and cardinality after arbitrary insert streams run through the
+    /// transactional engine.
+    #[test]
+    fn alter_hashset_matches_std_model(
+        keys in prop::collection::vec(-200i64..200, 1..120),
+        buckets in 1usize..40,
+        cap in 1usize..6,
+        workers in 1usize..5,
+    ) {
+        let mut heap = Heap::new();
+        let set = AlterHashSet::new(&mut heap, buckets, cap);
+        let params = ExecParams::new(workers, 4);
+        let keys2 = keys.clone();
+        LoopBuilder::new(&params)
+            .range(0, keys.len() as u64)
+            .run(&mut heap, Driver::sequential(), move |ctx, i| {
+                set.insert(ctx, keys2[i as usize]);
+            })
+            .unwrap();
+        let model: HashSet<i64> = keys.iter().copied().collect();
+        prop_assert_eq!(set.seq_len(&heap), model.len());
+        let got: HashSet<i64> = set.seq_keys(&heap).into_iter().collect();
+        prop_assert_eq!(got, model);
+    }
+
+    /// AlterVec round-trips arbitrary contents through transactional and
+    /// sequential access.
+    #[test]
+    fn alter_vec_roundtrips(values in prop::collection::vec(any::<i64>(), 1..64)) {
+        let mut heap = Heap::new();
+        let v: AlterVec<i64> = AlterVec::from_slice(&mut heap, &values);
+        prop_assert_eq!(v.seq_to_vec(&heap), values.clone());
+
+        // Rotate every element by one slot inside a parallel loop.
+        let n = values.len();
+        let params = ExecParams::new(2, 4);
+        let snapshot = values.clone();
+        LoopBuilder::new(&params)
+            .range(0, n as u64)
+            .run(&mut heap, Driver::sequential(), move |ctx, i| {
+                let i = i as usize;
+                v.set(ctx, i, snapshot[(i + 1) % n]);
+            })
+            .unwrap();
+        let expect: Vec<i64> = (0..n).map(|i| values[(i + 1) % n]).collect();
+        prop_assert_eq!(v.seq_to_vec(&heap), expect);
+    }
+}
+
+/// Transactional removals from a list leave exactly the survivors,
+/// regardless of chunking and conflicts.
+#[test]
+fn transactional_removals_keep_survivors() {
+    for chunk in [1usize, 2, 5] {
+        for workers in [1usize, 3, 4] {
+            let mut heap = Heap::new();
+            let list: AlterList<i64> = AlterList::from_iter(&mut heap, 0..40);
+            let nodes = list.node_ids(&heap);
+            let params = ExecParams::new(workers, chunk);
+            LoopBuilder::new(&params)
+                .items(nodes)
+                .run(&mut heap, Driver::sequential(), |ctx, raw| {
+                    let node = ObjId::from_index(raw as u32);
+                    if list.is_node_live(ctx, node) {
+                        let v = list.value(ctx, node);
+                        if v % 3 == 0 {
+                            list.remove(ctx, node);
+                        }
+                    }
+                })
+                .unwrap();
+            let expect: Vec<i64> = (0..40).filter(|v| v % 3 != 0).collect();
+            assert_eq!(
+                list.seq_values(&heap),
+                expect,
+                "workers={workers} chunk={chunk}"
+            );
+        }
+    }
+}

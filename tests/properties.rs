@@ -1,0 +1,235 @@
+//! Property-based tests of the runtime's core guarantees: sequential
+//! equivalence of TLS, exactness of conflict-checked read-modify-writes,
+//! reduction-merge algebra, allocator disjointness, set semantics, and
+//! determinism across drivers — all over randomly generated loop programs.
+
+use alter::heap::{AccessSet, Heap, IdReservation, ObjData};
+use alter::runtime::{
+    run_loop, CommitOrder, ConflictPolicy, Driver, ExecParams, RangeSpace, RedOp, RedVal, RedVars,
+    TxCtx,
+};
+use proptest::prelude::*;
+
+/// One statement of a synthetic loop body.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `arr[dst] = arr[src] + k`
+    Copy { dst: usize, src: usize, k: i64 },
+    /// `arr[dst] += k`
+    Bump { dst: usize, k: i64 },
+}
+
+const CELLS: usize = 12;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CELLS, 0..CELLS, -5i64..5).prop_map(|(dst, src, k)| Op::Copy { dst, src, k }),
+        (0..CELLS, -5i64..5).prop_map(|(dst, k)| Op::Bump { dst, k }),
+    ]
+}
+
+/// A program: for each iteration, a short list of statements.
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 1..4), 1..24)
+}
+
+fn interpret_sequential(prog: &[Vec<Op>]) -> Vec<i64> {
+    let mut arr = vec![0i64; CELLS];
+    for iter in prog {
+        for op in iter {
+            match *op {
+                Op::Copy { dst, src, k } => arr[dst] = arr[src] + k,
+                Op::Bump { dst, k } => arr[dst] += k,
+            }
+        }
+    }
+    arr
+}
+
+fn run_under(
+    prog: &[Vec<Op>],
+    conflict: ConflictPolicy,
+    order: CommitOrder,
+    workers: usize,
+    chunk: usize,
+    driver: Driver,
+) -> Vec<i64> {
+    let mut heap = Heap::new();
+    let arr = heap.alloc(ObjData::zeros_i64(CELLS));
+    let mut reds = RedVars::new();
+    let mut p = ExecParams::new(workers, chunk);
+    p.conflict = conflict;
+    p.order = order;
+    run_loop(
+        &mut heap,
+        &mut reds,
+        &mut RangeSpace::new(0, prog.len() as u64),
+        &p,
+        driver,
+        |ctx: &mut TxCtx<'_>, i| {
+            for op in &prog[i as usize] {
+                match *op {
+                    Op::Copy { dst, src, k } => {
+                        let v = ctx.tx.read_i64(arr, src);
+                        ctx.tx.write_i64(arr, dst, v + k);
+                    }
+                    Op::Bump { dst, k } => {
+                        let v = ctx.tx.read_i64(arr, dst);
+                        ctx.tx.write_i64(arr, dst, v + k);
+                    }
+                }
+            }
+        },
+    )
+    .unwrap();
+    heap.get(arr).i64s().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 4.3: `RAW + InOrder` (TLS) is equivalent to sequential
+    /// semantics for *arbitrary* loop bodies.
+    #[test]
+    fn tls_equals_sequential(prog in program_strategy(), workers in 1usize..5, chunk in 1usize..4) {
+        let seq = interpret_sequential(&prog);
+        let tls = run_under(&prog, ConflictPolicy::Raw, CommitOrder::InOrder, workers, chunk, Driver::sequential());
+        prop_assert_eq!(seq, tls);
+    }
+
+    /// Bump-only programs are commutative, so every conflict-checked model
+    /// must produce the sequential result.
+    #[test]
+    fn commutative_programs_are_exact_under_every_model(
+        prog in prop::collection::vec(
+            prop::collection::vec((0..CELLS, -5i64..5).prop_map(|(dst, k)| Op::Bump { dst, k }), 1..4),
+            1..24,
+        ),
+        workers in 1usize..5,
+        chunk in 1usize..4,
+    ) {
+        let seq = interpret_sequential(&prog);
+        for conflict in [ConflictPolicy::Full, ConflictPolicy::Waw, ConflictPolicy::Raw] {
+            let got = run_under(&prog, conflict, CommitOrder::OutOfOrder, workers, chunk, Driver::sequential());
+            prop_assert_eq!(&seq, &got, "conflict {:?}", conflict);
+        }
+    }
+
+    /// Determinism: the threaded and sequential drivers agree on arbitrary
+    /// programs under snapshot isolation (where results are allowed to
+    /// differ from sequential semantics, they still may not differ between
+    /// drivers or runs).
+    #[test]
+    fn drivers_agree_on_arbitrary_programs(prog in program_strategy(), workers in 1usize..5, chunk in 1usize..4) {
+        let a = run_under(&prog, ConflictPolicy::Waw, CommitOrder::OutOfOrder, workers, chunk, Driver::sequential());
+        let b = run_under(&prog, ConflictPolicy::Waw, CommitOrder::OutOfOrder, workers, chunk, Driver::threaded());
+        let c = run_under(&prog, ConflictPolicy::Waw, CommitOrder::OutOfOrder, workers, chunk, Driver::threaded());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
+    }
+
+    /// Reduction merges equal the serial fold for + and are order-robust
+    /// for idempotent operators, across random per-iteration updates.
+    #[test]
+    fn reductions_match_serial_fold(
+        updates in prop::collection::vec(-100i64..100, 1..40),
+        workers in 1usize..5,
+        chunk in 1usize..5,
+    ) {
+        let mut heap = Heap::new();
+        let _pad = heap.alloc(ObjData::scalar_i64(0));
+        let mut reds = RedVars::new();
+        let sum = reds.declare("sum", RedVal::I64(0));
+        let maxv = reds.declare("max", RedVal::I64(i64::MIN));
+        let mut p = ExecParams::new(workers, chunk);
+        p.reductions = vec![(sum, RedOp::Add), (maxv, RedOp::Max)];
+        let updates2 = updates.clone();
+        run_loop(
+            &mut heap,
+            &mut reds,
+            &mut RangeSpace::new(0, updates.len() as u64),
+            &p,
+            Driver::sequential(),
+            move |ctx, i| {
+                ctx.red_add(sum, updates2[i as usize]);
+                ctx.red_max(maxv, updates2[i as usize]);
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(reds.get(sum).as_i64(), updates.iter().sum::<i64>());
+        prop_assert_eq!(reds.get(maxv).as_i64(), *updates.iter().max().unwrap());
+    }
+
+    /// The deterministic allocator never hands two workers the same id,
+    /// for any geometry.
+    #[test]
+    fn reservations_are_pairwise_disjoint(
+        base in 0u32..10_000,
+        workers in 1usize..9,
+        block in 1u32..64,
+        takes in prop::collection::vec(0usize..200, 1..8),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for (w, &n) in takes.iter().enumerate().take(workers) {
+            let mut r = IdReservation::new(base, w % workers, workers, block);
+            for _ in 0..n {
+                prop_assert!(seen.insert(r.next_id()), "duplicate id");
+            }
+        }
+    }
+
+    /// `AccessSet::overlaps` agrees with the naive word-set model.
+    #[test]
+    fn access_set_overlap_matches_model(
+        a in prop::collection::vec((0u32..6, 0u32..40, 1u32..8), 0..20),
+        b in prop::collection::vec((0u32..6, 0u32..40, 1u32..8), 0..20),
+    ) {
+        let build = |ranges: &[(u32, u32, u32)]| {
+            let mut set = AccessSet::new();
+            let mut model = std::collections::BTreeSet::new();
+            for &(obj, lo, len) in ranges {
+                set.insert(alter::heap::ObjId::from_index(obj), lo, lo + len);
+                for w in lo..lo + len {
+                    model.insert((obj, w));
+                }
+            }
+            (set, model)
+        };
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        let model_overlap = ma.intersection(&mb).next().is_some();
+        prop_assert_eq!(sa.overlaps(&sb), model_overlap);
+        prop_assert_eq!(sb.overlaps(&sa), model_overlap);
+        prop_assert_eq!(sa.words(), ma.len() as u64);
+    }
+}
+
+/// Snapshot isolation's defining property, checked exhaustively on a small
+/// program: the final value of every cell equals the value written by the
+/// last *committing* writer, and lost updates never occur for cells with
+/// conflict checking.
+#[test]
+fn no_lost_updates_under_waw() {
+    for chunk in 1..4usize {
+        for workers in 1..5usize {
+            let prog: Vec<Vec<Op>> = (0..16)
+                .map(|i| {
+                    vec![Op::Bump {
+                        dst: (i % 5) as usize,
+                        k: 1,
+                    }]
+                })
+                .collect();
+            let got = run_under(
+                &prog,
+                ConflictPolicy::Waw,
+                CommitOrder::OutOfOrder,
+                workers,
+                chunk,
+                Driver::sequential(),
+            );
+            let seq = interpret_sequential(&prog);
+            assert_eq!(got, seq, "workers={workers} chunk={chunk}");
+        }
+    }
+}
