@@ -1,0 +1,207 @@
+//! Flight-recorder CLI: runs one of the twelve workloads under a chosen
+//! annotation with a structured-event recorder attached, then dumps the
+//! rendered timeline, the aggregated metrics, and the 64-bit trace hash.
+//!
+//! ```text
+//! cargo run -p alter-bench --bin alter-trace -- <workload> [annotation] [flags]
+//! ```
+//!
+//! The annotation is one of `tls`, `outoforder`, `stalereads`, `doall`, or
+//! `best` (the paper's chosen configuration for the workload, including any
+//! reduction; the default). Because the engine emits every event from the
+//! sequential validate/commit phase with only deterministic payloads, the
+//! trace — and therefore the hash — is a replayable fingerprint of the run:
+//! `--twice` executes the same probe a second time and verifies the two
+//! JSONL transcripts are byte-identical.
+
+use alter_infer::{Model, Probe};
+use alter_trace::{format_hash, to_jsonl, trace_hash, Event, Metrics, Recorder, RingRecorder};
+use alter_workloads::{all_benchmarks, Benchmark, Scale};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: alter-trace <workload> [annotation] [flags]
+
+  workload     one of the twelve Table 2 workloads (case-insensitive),
+               e.g. genome, k-means, agglo-clust; `--list` prints them
+  annotation   tls | outoforder | stalereads | doall | best   (default best)
+
+flags:
+  --workers N  worker count                       (default 4)
+  --chunk N    chunk factor                       (default: tuned cf)
+  --jsonl      dump the raw JSONL event stream instead of the timeline
+  --twice      run the probe twice and verify byte-identical traces
+  --list       list workload names and exit";
+
+fn list_workloads() {
+    println!("workloads (inference-scale inputs):");
+    for b in all_benchmarks(Scale::Inference) {
+        let (model, red) = b.best_config();
+        let best = match red {
+            None => model.to_string(),
+            Some((var, op)) => format!("{model} + Reduction({var}, {op})"),
+        };
+        println!("  {:<12} best: [{best}]  cf={}", b.name(), b.chunk_factor());
+    }
+}
+
+/// Case-insensitive workload lookup, ignoring `-`/`_` so `k-means`,
+/// `kmeans` and `K-means` all resolve.
+fn find_benchmark(name: &str) -> Option<Box<dyn Benchmark>> {
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .flat_map(char::to_lowercase)
+            .collect::<String>()
+    };
+    let want = norm(name);
+    all_benchmarks(Scale::Inference)
+        .into_iter()
+        .find(|b| norm(b.name()) == want)
+}
+
+fn parse_model(s: &str) -> Option<Model> {
+    match s.to_ascii_lowercase().as_str() {
+        "tls" => Some(Model::Tls),
+        "outoforder" | "ooo" => Some(Model::OutOfOrder),
+        "stalereads" | "stale" => Some(Model::StaleReads),
+        "doall" => Some(Model::Doall),
+        _ => None,
+    }
+}
+
+/// Runs `probe` against `bench` with a fresh ring recorder and returns the
+/// captured events plus the run verdict line.
+fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String) {
+    let rec = Arc::new(RingRecorder::default());
+    let mut probe = probe.clone();
+    probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    let verdict = match bench.run_probe(&probe) {
+        Ok(run) => format!(
+            "run: ok  (retry rate {:.3}, {:.1} sequential-work units)",
+            run.stats.retry_rate(),
+            run.clock.seq_units
+        ),
+        Err(e) => format!("run: aborted ({e})"),
+    };
+    let events = rec.events();
+    if rec.dropped() > 0 {
+        eprintln!(
+            "warning: ring capacity exceeded, {} oldest event(s) dropped",
+            rec.dropped()
+        );
+    }
+    (events, verdict)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        list_workloads();
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut workload = None;
+    let mut annotation = None;
+    let mut workers = 4usize;
+    let mut chunk = None;
+    let mut jsonl = false;
+    let mut twice = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" | "--chunk" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: {a} needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if a == "--workers" {
+                    workers = v.max(1);
+                } else {
+                    chunk = Some(v.max(1));
+                }
+            }
+            "--jsonl" => jsonl = true,
+            "--twice" => twice = true,
+            _ if a.starts_with("--") => {
+                eprintln!("error: unknown flag {a}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            _ if workload.is_none() => workload = Some(a.clone()),
+            _ if annotation.is_none() => annotation = Some(a.clone()),
+            _ => {
+                eprintln!("error: unexpected argument {a}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(workload) = workload else {
+        eprintln!("error: no workload given\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let Some(bench) = find_benchmark(&workload) else {
+        eprintln!("error: unknown workload `{workload}` (try --list)");
+        return ExitCode::FAILURE;
+    };
+
+    let annotation = annotation.unwrap_or_else(|| "best".to_owned());
+    let mut probe = if annotation.eq_ignore_ascii_case("best") {
+        bench.best_probe(workers)
+    } else {
+        let Some(model) = parse_model(&annotation) else {
+            eprintln!("error: unknown annotation `{annotation}` (tls | outoforder | stalereads | doall | best)");
+            return ExitCode::FAILURE;
+        };
+        Probe::new(model, workers, bench.chunk_factor())
+    };
+    if let Some(chunk) = chunk {
+        probe.chunk = chunk;
+    }
+
+    println!(
+        "{} under [{}], {} worker(s), chunk {}",
+        bench.name(),
+        probe.describe(),
+        probe.workers,
+        probe.chunk
+    );
+    let (events, verdict) = record_run(bench.as_ref(), &probe);
+    println!("{verdict}");
+    println!();
+
+    if jsonl {
+        print!("{}", to_jsonl(&events));
+    } else {
+        print!("{}", alter_trace::render_timeline(&events));
+    }
+    println!();
+    print!("{}", Metrics::from_events(&events).render());
+    println!();
+    let hash = trace_hash(&events);
+    println!("trace hash: {}", format_hash(hash));
+
+    if twice {
+        let (events2, _) = record_run(bench.as_ref(), &probe);
+        let identical = to_jsonl(&events) == to_jsonl(&events2);
+        let hash2 = trace_hash(&events2);
+        println!(
+            "second run: {} ({})",
+            format_hash(hash2),
+            if identical && hash == hash2 {
+                "byte-identical trace — deterministic"
+            } else {
+                "TRACE DIVERGED"
+            }
+        );
+        if !identical || hash != hash2 {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

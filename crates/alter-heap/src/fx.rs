@@ -1,0 +1,135 @@
+//! A small FxHash-style hasher, in-repo replacement for the `rustc-hash`
+//! crate (the workspace builds fully offline).
+//!
+//! The algorithm is the classic "Fx" mix used by rustc: fold each input
+//! word into the state with a rotate, xor, and multiply by a fixed odd
+//! constant. It is not DoS-resistant — which is exactly right here: keys
+//! are in-repo `ObjId`s / small integers, and a *seedless* hasher keeps
+//! map iteration order a pure function of the insertion sequence, which
+//! the determinism guarantee (DESIGN.md §2) relies on.
+//!
+//! ```
+//! use alter_heap::fx::FxHashMap;
+//! let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx mixing constant (derived from the golden ratio, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher state. Use through [`FxHashMap`] / [`FxHashSet`], or
+/// directly as a cheap streaming mixer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Folds one 64-bit word into the state.
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_seedless() {
+        assert_eq!(hash_of(b"alter"), hash_of(b"alter"));
+        assert_ne!(hash_of(b"alter"), hash_of(b"altar"));
+        // Unaligned tails reach the state too.
+        assert_ne!(hash_of(b"12345678"), hash_of(b"123456789"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&40], 80);
+        let s: FxHashSet<u64> = (0..50).collect();
+        assert!(s.contains(&49));
+        assert!(!s.contains(&50));
+    }
+
+    #[test]
+    fn integer_writes_match_between_runs() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        a.write_u64(9);
+        let mut b = FxHasher::default();
+        b.write_u32(7);
+        b.write_u64(9);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

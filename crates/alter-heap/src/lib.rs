@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod alloc;
+pub mod fx;
 mod heap;
 mod object;
 mod sets;

@@ -7,8 +7,8 @@
 //! deterministic hash map from allocation to a set of word ranges, which
 //! doubles as the structure other transactions probe during validation.
 
+use crate::fx::FxHashMap;
 use crate::object::ObjId;
-use rustc_hash::FxHashMap;
 
 /// A sorted, coalesced set of half-open word ranges within one allocation.
 ///
@@ -90,6 +90,22 @@ impl RangeSet {
             }
         }
         false
+    }
+
+    /// The lowest word shared by the two sets, if any.
+    pub fn first_overlap(&self, other: &RangeSet) -> Option<u32> {
+        let (a, b) = (&self.ranges, &other.ranges);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].1 <= b[j].0 {
+                i += 1;
+            } else if b[j].1 <= a[i].0 {
+                j += 1;
+            } else {
+                return Some(a[i].0.max(b[j].0));
+            }
+        }
+        None
     }
 
     /// Whether a specific word is present.
@@ -185,6 +201,28 @@ impl AccessSet {
             }
         }
         false
+    }
+
+    /// The first `(allocation, word)` shared with `other`, searched in
+    /// deterministic order: ascending [`ObjId`], then lowest shared word.
+    ///
+    /// This is the slow sibling of [`AccessSet::overlaps`] used only on the
+    /// conflict path, where validation has already failed and the trace
+    /// wants to *name* the dependence that broke (which word, and below,
+    /// which committed writer owns it).
+    pub fn first_overlap(&self, other: &AccessSet) -> Option<(ObjId, u32)> {
+        let mut best: Option<(ObjId, u32)> = None;
+        for (id, ranges) in &self.map {
+            if best.is_some_and(|(b, _)| b <= *id) {
+                continue;
+            }
+            if let Some(other_ranges) = other.map.get(id) {
+                if let Some(word) = ranges.first_overlap(other_ranges) {
+                    best = Some((*id, word));
+                }
+            }
+        }
+        best
     }
 
     /// Whether words `lo..hi` of `id` are present.
@@ -335,6 +373,39 @@ mod tests {
         a.clear();
         assert!(a.is_empty());
         assert_eq!(a.words(), 0);
+    }
+
+    #[test]
+    fn rangeset_first_overlap_finds_lowest_shared_word() {
+        let mut a = RangeSet::new();
+        a.insert(0, 10);
+        a.insert(20, 30);
+        let mut b = RangeSet::new();
+        b.insert(10, 20);
+        assert_eq!(a.first_overlap(&b), None);
+        b.insert(25, 35);
+        assert_eq!(a.first_overlap(&b), Some(25));
+        let mut c = RangeSet::new();
+        c.insert(5, 6);
+        c.insert(22, 23);
+        assert_eq!(a.first_overlap(&c), Some(5));
+        assert_eq!(c.first_overlap(&a), Some(5));
+    }
+
+    #[test]
+    fn accessset_first_overlap_is_deterministic_ascending() {
+        let mut a = AccessSet::new();
+        a.insert(id(7), 0, 4);
+        a.insert(id(2), 8, 12);
+        let mut b = AccessSet::new();
+        b.insert(id(7), 2, 3);
+        b.insert(id(2), 10, 11);
+        // Both objects overlap; the lowest ObjId (and its lowest shared
+        // word) must win regardless of hash-map iteration order.
+        assert_eq!(a.first_overlap(&b), Some((id(2), 10)));
+        assert_eq!(b.first_overlap(&a), Some((id(2), 10)));
+        let empty = AccessSet::new();
+        assert_eq!(a.first_overlap(&empty), None);
     }
 
     #[test]

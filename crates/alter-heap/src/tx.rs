@@ -13,10 +13,10 @@
 //! instrumentation" (§7.2).
 
 use crate::alloc::IdReservation;
+use crate::fx::FxHashMap;
 use crate::heap::Snapshot;
 use crate::object::{ObjData, ObjId};
 use crate::sets::AccessSet;
-use rustc_hash::FxHashMap;
 
 /// Which access sets a transaction maintains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -9,9 +9,11 @@
 use crate::outcome::Outcome;
 use crate::target::{InferTarget, Model, Probe, ProgramOutput};
 use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError};
+use alter_trace::{Event, Recorder};
+use std::sync::Arc;
 
 /// Tunables of the inference engine, with the paper's defaults.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct InferConfig {
     /// Workers used during probing.
     pub workers: usize,
@@ -25,6 +27,24 @@ pub struct InferConfig {
     pub high_conflict_threshold: f64,
     /// Per-transaction tracked-memory budget (emulates physical memory).
     pub budget_words: u64,
+    /// Structured-event sink. Each probe is bracketed by
+    /// `ProbeStart`/`ProbeOutcome` events and its engine run emits into the
+    /// same recorder, so a trace shows each candidate annotation followed
+    /// by exactly what its execution did.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for InferConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferConfig")
+            .field("workers", &self.workers)
+            .field("chunk", &self.chunk)
+            .field("timeout_factor", &self.timeout_factor)
+            .field("high_conflict_threshold", &self.high_conflict_threshold)
+            .field("budget_words", &self.budget_words)
+            .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
+            .finish()
+    }
 }
 
 impl Default for InferConfig {
@@ -35,6 +55,7 @@ impl Default for InferConfig {
             timeout_factor: 10.0,
             high_conflict_threshold: 0.5,
             budget_words: 1 << 22, // 4M words = 32 MiB of tracked state
+            recorder: None,
         }
     }
 }
@@ -134,8 +155,21 @@ fn probe_outcome(
     probe: &Probe,
     cfg: &InferConfig,
 ) -> Outcome {
+    let rec = cfg.recorder.as_deref().filter(|r| r.is_enabled());
+    if let Some(rec) = rec {
+        rec.record(Event::ProbeStart {
+            annotation: probe.describe(),
+        });
+    }
     let result = quiet_panics(|| target.run_probe(probe));
-    classify(target, reference, result, cfg)
+    let outcome = classify(target, reference, result, cfg);
+    if let Some(rec) = rec {
+        rec.record(Event::ProbeOutcome {
+            annotation: probe.describe(),
+            outcome: outcome.short().to_owned(),
+        });
+    }
+    outcome
 }
 
 /// Measures the sequential cost of the program in cost units, by running
@@ -171,6 +205,7 @@ pub fn infer(target: &dyn InferTarget, cfg: &InferConfig) -> InferReport {
         probe.reduction = reduction;
         probe.budget_words = budget_words;
         probe.work_budget = Some(work_budget);
+        probe.recorder = cfg.recorder.clone();
         (
             probe.describe(),
             probe_outcome(target, &reference, &probe, cfg),

@@ -7,6 +7,8 @@
 
 use alter_runtime::{DepReport, ExecParams, RedOp, RedVars, RunError, RunStats};
 use alter_sim::SimClock;
+use alter_trace::Recorder;
+use std::sync::Arc;
 
 /// The execution model a probe exercises — the columns of Table 3 plus
 /// DOALL (used internally to measure sequential cost).
@@ -58,7 +60,7 @@ impl std::fmt::Display for Model {
 }
 
 /// One candidate configuration to try on the target loop.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Probe {
     /// Execution model.
     pub model: Model,
@@ -72,6 +74,22 @@ pub struct Probe {
     pub budget_words: u64,
     /// Total cost budget (the 10×-sequential timeout), if any.
     pub work_budget: Option<u64>,
+    /// Structured-event sink forwarded to the engine run.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("model", &self.model)
+            .field("reduction", &self.reduction)
+            .field("workers", &self.workers)
+            .field("chunk", &self.chunk)
+            .field("budget_words", &self.budget_words)
+            .field("work_budget", &self.work_budget)
+            .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
+            .finish()
+    }
 }
 
 impl Probe {
@@ -85,6 +103,7 @@ impl Probe {
             chunk,
             budget_words: u64::MAX,
             work_budget: None,
+            recorder: None,
         }
     }
 
@@ -100,6 +119,7 @@ impl Probe {
         let mut p = self.model.exec_params(self.workers, self.chunk);
         p.budget_words = self.budget_words;
         p.work_budget = self.work_budget;
+        p.recorder = self.recorder.clone();
         if let Some((name, op)) = &self.reduction {
             let var = reds
                 .lookup(name)

@@ -72,19 +72,23 @@ impl RedOp {
     pub fn is_idempotent(self) -> bool {
         matches!(self, RedOp::Max | RedOp::Min | RedOp::And | RedOp::Or)
     }
-}
 
-impl fmt::Display for RedOp {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The operator's annotation-language spelling (`+`, `*`, `max`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
             RedOp::Add => "+",
             RedOp::Mul => "*",
             RedOp::Max => "max",
             RedOp::Min => "min",
             RedOp::And => "and",
             RedOp::Or => "or",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for RedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

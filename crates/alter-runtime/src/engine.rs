@@ -27,9 +27,10 @@ use crate::params::{CommitOrder, ConflictPolicy, ExecParams};
 use crate::reduction::{RedDelta, RedLocals, RedVars};
 use crate::space::IterSpace;
 use alter_heap::{
-    AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, Snapshot, TrackMode, Tx, TxEffects,
-    TxStats,
+    AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, ObjId, Snapshot, TrackMode, Tx,
+    TxEffects, TxStats,
 };
+use alter_trace::{ConflictKind, Event, Recorder};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -141,6 +142,22 @@ impl RunStats {
     }
 }
 
+/// Exactly which dependence broke a transaction's validation: the first
+/// conflicting word in deterministic (ascending allocation, ascending
+/// word) order and the committed writer that owns it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictDetail {
+    /// Which check failed (RAW vs WAW overlap).
+    pub kind: ConflictKind,
+    /// Allocation holding the first conflicting word.
+    pub obj: ObjId,
+    /// Word index within `obj`.
+    pub word: u32,
+    /// Sequence number of the earlier transaction whose committed write
+    /// set owns the word.
+    pub winner_seq: u64,
+}
+
 /// Per-transaction record handed to [`RoundObserver`]s (the simulator's
 /// input).
 #[derive(Clone, Debug)]
@@ -177,6 +194,9 @@ pub struct TaskReport {
     /// Maximal ranges in the write set (≈ pages dirtied, for the
     /// copy-on-write cost model).
     pub write_ranges: u64,
+    /// Why validation failed, when it did. `None` for committed and
+    /// squashed tasks (squashed tasks never reached validation).
+    pub conflict: Option<ConflictDetail>,
 }
 
 /// One lock-step round, as seen by a [`RoundObserver`].
@@ -300,6 +320,36 @@ fn conflicts_with(policy: ConflictPolicy, effects: &TxEffects, earlier_writes: &
     }
 }
 
+/// Pinpoints the first conflicting word once [`conflicts_with`] has already
+/// said "yes". Reads are checked before writes, matching validation order
+/// under `FULL`; within a set the search is deterministic (ascending
+/// allocation, then lowest word). Only runs on the conflict path, so the
+/// extra scan never taxes a conflict-free round.
+fn locate_conflict(
+    policy: ConflictPolicy,
+    effects: &TxEffects,
+    earlier_writes: &AccessSet,
+) -> Option<(ConflictKind, ObjId, u32)> {
+    let raw = || {
+        effects
+            .reads
+            .first_overlap(earlier_writes)
+            .map(|(obj, word)| (ConflictKind::Raw, obj, word))
+    };
+    let waw = || {
+        effects
+            .writes
+            .first_overlap(earlier_writes)
+            .map(|(obj, word)| (ConflictKind::Waw, obj, word))
+    };
+    match policy {
+        ConflictPolicy::Full => raw().or_else(waw),
+        ConflictPolicy::Waw => waw(),
+        ConflictPolicy::Raw => raw(),
+        ConflictPolicy::None => None,
+    }
+}
+
 pub(crate) fn build_commit_ops(mut effects: TxEffects, mode: TrackMode) -> CommitOps {
     let mut ops = CommitOps::default();
     if mode == TrackMode::None {
@@ -347,6 +397,9 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
 ) -> Result<RunStats, RunError> {
     assert!(params.workers >= 1, "need at least one worker");
     let mode = params.conflict.track_mode();
+    // Resolve the recorder once: `None` here means every emission site below
+    // is one predicted-not-taken branch and constructs nothing.
+    let rec: Option<&dyn Recorder> = params.recorder.as_deref().filter(|r| r.is_enabled());
     let mut stats = RunStats::default();
     let mut pending: VecDeque<PendingTask> = VecDeque::new();
     let mut next_seq: u64 = 0;
@@ -373,22 +426,52 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
 
         let snap = heap.snapshot();
         let base = heap.high_water();
+        if let Some(rec) = rec {
+            rec.record(Event::RoundStart {
+                round: stats.rounds,
+                tasks: tasks.len() as u32,
+                snapshot_slots: snap.slot_count() as u64,
+            });
+            for (worker, task) in tasks.iter().enumerate() {
+                rec.record(Event::TaskStart {
+                    seq: task.seq,
+                    worker: worker as u32,
+                    iters: task.iters.len() as u32,
+                });
+            }
+        }
         let outcomes = execute_round(threaded, &snap, &tasks, base, params, reds, mode, body);
 
-        // Validate and commit in deterministic task order.
-        let mut round_writes: Vec<AccessSet> = Vec::new();
+        // Validate and commit in deterministic task order. Each committed
+        // write set is remembered with its owner's sequence number so a
+        // later conflict can name the transaction it lost to.
+        let mut round_writes: Vec<(u64, AccessSet)> = Vec::new();
         let mut squash = false;
+        let mut squashed_by: u64 = 0;
         reports.clear();
         for (worker, (task, outcome)) in tasks.into_iter().zip(outcomes).enumerate() {
             let (effects, deltas) = match outcome {
                 Ok(v) => v,
                 Err(TaskPanic::Oom(me)) => {
+                    if let Some(rec) = rec {
+                        rec.record(Event::Oom {
+                            words: me.words,
+                            budget: me.budget,
+                        });
+                    }
                     return Err(RunError::OutOfMemory {
                         words: me.words,
                         budget: me.budget,
-                    })
+                    });
                 }
-                Err(TaskPanic::Crash(msg)) => return Err(RunError::Crash(msg)),
+                Err(TaskPanic::Crash(msg)) => {
+                    if let Some(rec) = rec {
+                        rec.record(Event::Crash {
+                            message: msg.clone(),
+                        });
+                    }
+                    return Err(RunError::Crash(msg));
+                }
             };
 
             stats.attempts += 1;
@@ -398,12 +481,19 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
             stats.max_tracked_words = stats.max_tracked_words.max(tracked);
 
             let mut validate_words = 0;
-            let mut conflict = false;
+            let mut conflict: Option<ConflictDetail> = None;
             if !squash {
-                for earlier in &round_writes {
+                for (winner_seq, earlier) in &round_writes {
                     validate_words += earlier.words().min(tracked);
                     if conflicts_with(params.conflict, &effects, earlier) {
-                        conflict = true;
+                        let (kind, obj, word) = locate_conflict(params.conflict, &effects, earlier)
+                            .expect("overlap test and locate must agree");
+                        conflict = Some(ConflictDetail {
+                            kind,
+                            obj,
+                            word,
+                            winner_seq: *winner_seq,
+                        });
                         break;
                     }
                 }
@@ -433,17 +523,48 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
                 overlay_words: effects.overlay.values().map(|o| o.len() as u64).sum(),
                 alloc_words: effects.allocs.iter().map(|(_, o)| o.len() as u64).sum(),
                 write_ranges: effects.writes.range_count() as u64,
+                conflict,
             };
 
-            if squash || conflict {
-                if conflict && params.order == CommitOrder::InOrder {
+            if squash || conflict.is_some() {
+                if let Some(rec) = rec {
+                    if let Some(c) = conflict {
+                        rec.record(Event::ValidateConflict {
+                            seq: task.seq,
+                            kind: c.kind,
+                            obj: c.obj,
+                            word: c.word,
+                            winner_seq: c.winner_seq,
+                        });
+                    } else {
+                        rec.record(Event::Squash {
+                            seq: task.seq,
+                            by_seq: squashed_by,
+                        });
+                    }
+                }
+                if conflict.is_some() && params.order == CommitOrder::InOrder {
                     squash = true;
+                    squashed_by = task.seq;
                 }
                 pending.push_back(task);
             } else {
                 report.committed = true;
                 stats.committed += 1;
                 stats.iterations += task.iters.len() as u64;
+                if let Some(rec) = rec {
+                    rec.record(Event::ValidateOk {
+                        seq: task.seq,
+                        validate_words,
+                    });
+                    rec.record(Event::Commit {
+                        seq: task.seq,
+                        read_words: report.read_words,
+                        write_words: report.write_words,
+                        allocs: effects.allocs.len() as u32,
+                        frees: effects.frees.len() as u32,
+                    });
+                }
                 // A type-mismatched reduction (e.g. a boolean operator on a
                 // float variable) is an invalid annotation; report it as a
                 // crash of the candidate program rather than unwinding.
@@ -458,11 +579,25 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
                         .cloned()
                         .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
                         .unwrap_or_else(|| "reduction merge failed".to_owned());
+                    if let Some(rec) = rec {
+                        rec.record(Event::Crash {
+                            message: msg.clone(),
+                        });
+                    }
                     return Err(RunError::Crash(msg));
+                }
+                if let Some(rec) = rec {
+                    for d in &deltas {
+                        rec.record(Event::ReductionMerge {
+                            seq: task.seq,
+                            var: d.var.index() as u32,
+                            op: d.op.as_str(),
+                        });
+                    }
                 }
                 let writes = effects.writes.clone();
                 heap.apply_commit(build_commit_ops(effects, mode));
-                round_writes.push(writes);
+                round_writes.push((task.seq, writes));
             }
             reports.push(report);
         }
@@ -477,9 +612,19 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
         if let Some(budget) = params.work_budget {
             let spent = stats.cost_units();
             if spent > budget {
+                if let Some(rec) = rec {
+                    rec.record(Event::WorkBudgetExceeded { spent, budget });
+                }
                 return Err(RunError::WorkBudgetExceeded { spent, budget });
             }
         }
+    }
+    if let Some(rec) = rec {
+        rec.record(Event::RunEnd {
+            rounds: stats.rounds,
+            attempts: stats.attempts,
+            committed: stats.committed,
+        });
     }
     Ok(stats)
 }

@@ -58,7 +58,9 @@ mod var;
 pub use annotation::{Annotation, ParseAnnotationError, Policy, RedOp, Reduction};
 pub use body::{LoopBody, TxCtx};
 pub use dep::{detect_dependences, DepReport};
-pub use engine::{NullObserver, RoundObserver, RoundReport, RunError, RunStats, TaskReport};
+pub use engine::{
+    ConflictDetail, NullObserver, RoundObserver, RoundReport, RunError, RunStats, TaskReport,
+};
 pub use executor::{run_loop, run_loop_observed, Driver, LoopBuilder};
 pub use params::{CommitOrder, ConflictPolicy, ExecParams};
 pub use reduction::{RedDelta, RedLocals, RedVal, RedVarId, RedVars};

@@ -9,6 +9,8 @@
 use crate::annotation::{Annotation, Policy, RedOp};
 use crate::reduction::{RedVarId, RedVars};
 use alter_heap::TrackMode;
+use alter_trace::Recorder;
+use std::sync::Arc;
 
 /// The four conflict definitions, forming a partial order from most to
 /// least restrictive: `FULL` ⊒ {`WAW`, `RAW`} ⊒ `NONE`.
@@ -86,7 +88,7 @@ impl std::fmt::Display for CommitOrder {
 }
 
 /// Complete configuration for one parallel loop execution.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ExecParams {
     /// Conflict definition applied at validation.
     pub conflict: ConflictPolicy,
@@ -107,6 +109,26 @@ pub struct ExecParams {
     /// Abort the run once total executed cost units exceed this (emulates
     /// the paper's 10×-sequential timeout).
     pub work_budget: Option<u64>,
+    /// Structured-event sink. `None` (the default) means no tracing; the
+    /// engine also short-circuits on [`Recorder::is_enabled`], so the hot
+    /// path pays a single branch either way.
+    pub recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for ExecParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecParams")
+            .field("conflict", &self.conflict)
+            .field("order", &self.order)
+            .field("reductions", &self.reductions)
+            .field("chunk", &self.chunk)
+            .field("workers", &self.workers)
+            .field("alloc_block", &self.alloc_block)
+            .field("budget_words", &self.budget_words)
+            .field("work_budget", &self.work_budget)
+            .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
+            .finish()
+    }
 }
 
 impl ExecParams {
@@ -122,6 +144,7 @@ impl ExecParams {
             alloc_block: alter_heap::DEFAULT_BLOCK_SIZE,
             budget_words: u64::MAX,
             work_budget: None,
+            recorder: None,
         }
     }
 
@@ -203,6 +226,12 @@ impl ExecParams {
     /// Builder-style: set the total work budget (timeout analogue).
     pub fn with_work_budget(mut self, units: u64) -> Self {
         self.work_budget = Some(units);
+        self
+    }
+
+    /// Builder-style: attach a structured-event recorder.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 

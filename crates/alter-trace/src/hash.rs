@@ -1,0 +1,108 @@
+//! Stable 64-bit trace hash — the determinism oracle.
+//!
+//! The hash is FNV-1a over the canonical JSONL bytes of the event stream.
+//! Because events carry only deterministic payloads and the JSONL encoding
+//! is canonical, two runs of the same workload under the same annotation
+//! must produce the same hash; a mismatch is a determinism bug in the
+//! engine (or a nondeterministic payload that leaked into an event).
+
+use crate::event::Event;
+use crate::jsonl::event_json;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher over trace bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceHasher {
+    state: u64,
+}
+
+impl TraceHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        TraceHasher { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one event (as its canonical JSONL line, newline included) into
+    /// the hash.
+    pub fn update_event(&mut self, ev: &Event) {
+        self.update(event_json(ev).as_bytes());
+        self.update(b"\n");
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        TraceHasher::new()
+    }
+}
+
+/// The stable 64-bit hash of an event stream.
+pub fn trace_hash(events: &[Event]) -> u64 {
+    let mut h = TraceHasher::new();
+    for ev in events {
+        h.update_event(ev);
+    }
+    h.finish()
+}
+
+/// Formats a trace hash the way the tooling prints it (16 hex digits).
+pub fn format_hash(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|round| Event::RoundStart {
+                round,
+                tasks: 2,
+                snapshot_slots: round * 3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equal_streams_hash_equal() {
+        assert_eq!(trace_hash(&stream(4)), trace_hash(&stream(4)));
+    }
+
+    #[test]
+    fn different_streams_hash_differently() {
+        assert_ne!(trace_hash(&stream(4)), trace_hash(&stream(5)));
+        assert_ne!(trace_hash(&stream(0)), trace_hash(&stream(1)));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let evs = stream(6);
+        let mut h = TraceHasher::new();
+        for ev in &evs {
+            h.update_event(ev);
+        }
+        assert_eq!(h.finish(), trace_hash(&evs));
+    }
+
+    #[test]
+    fn formats_as_16_hex_digits() {
+        assert_eq!(format_hash(0).len(), 16);
+        assert_eq!(format_hash(0xdead_beef), "00000000deadbeef");
+    }
+}

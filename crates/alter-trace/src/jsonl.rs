@@ -1,0 +1,194 @@
+//! JSONL export: one canonical JSON object per event, one event per line.
+//!
+//! The encoding is hand-rolled (no external deps) and *canonical*: field
+//! order is fixed per event type and every payload is an integer or a
+//! string, so byte-identical traces ⇔ identical event streams. The trace
+//! hash is computed over exactly these bytes (see [`crate::hash`]).
+
+use crate::event::Event;
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string contents (without the surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one event as a single-line canonical JSON object.
+pub fn event_json(ev: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"ev\":\"{}\"", ev.kind_str());
+    match ev {
+        Event::RoundStart {
+            round,
+            tasks,
+            snapshot_slots,
+        } => {
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"tasks\":{tasks},\"snapshot_slots\":{snapshot_slots}"
+            );
+        }
+        Event::TaskStart { seq, worker, iters } => {
+            let _ = write!(s, ",\"seq\":{seq},\"worker\":{worker},\"iters\":{iters}");
+        }
+        Event::ValidateOk {
+            seq,
+            validate_words,
+        } => {
+            let _ = write!(s, ",\"seq\":{seq},\"validate_words\":{validate_words}");
+        }
+        Event::ValidateConflict {
+            seq,
+            kind,
+            obj,
+            word,
+            winner_seq,
+        } => {
+            let _ = write!(
+                s,
+                ",\"seq\":{seq},\"kind\":\"{}\",\"obj\":{},\"word\":{word},\"winner_seq\":{winner_seq}",
+                kind.as_str(),
+                obj.index()
+            );
+        }
+        Event::Commit {
+            seq,
+            read_words,
+            write_words,
+            allocs,
+            frees,
+        } => {
+            let _ = write!(
+                s,
+                ",\"seq\":{seq},\"read_words\":{read_words},\"write_words\":{write_words},\"allocs\":{allocs},\"frees\":{frees}"
+            );
+        }
+        Event::Squash { seq, by_seq } => {
+            let _ = write!(s, ",\"seq\":{seq},\"by_seq\":{by_seq}");
+        }
+        Event::ReductionMerge { seq, var, op } => {
+            s.push_str(",\"seq\":");
+            let _ = write!(s, "{seq},\"var\":{var},\"op\":\"");
+            escape_into(&mut s, op);
+            s.push('"');
+        }
+        Event::Oom { words, budget } => {
+            let _ = write!(s, ",\"words\":{words},\"budget\":{budget}");
+        }
+        Event::Crash { message } => {
+            s.push_str(",\"message\":\"");
+            escape_into(&mut s, message);
+            s.push('"');
+        }
+        Event::WorkBudgetExceeded { spent, budget } => {
+            let _ = write!(s, ",\"spent\":{spent},\"budget\":{budget}");
+        }
+        Event::ProbeStart { annotation } => {
+            s.push_str(",\"annotation\":\"");
+            escape_into(&mut s, annotation);
+            s.push('"');
+        }
+        Event::ProbeOutcome {
+            annotation,
+            outcome,
+        } => {
+            s.push_str(",\"annotation\":\"");
+            escape_into(&mut s, annotation);
+            s.push_str("\",\"outcome\":\"");
+            escape_into(&mut s, outcome);
+            s.push('"');
+        }
+        Event::RunEnd {
+            rounds,
+            attempts,
+            committed,
+        } => {
+            let _ = write!(
+                s,
+                ",\"rounds\":{rounds},\"attempts\":{attempts},\"committed\":{committed}"
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Renders an event stream as JSONL (one event per line, trailing newline
+/// after each line).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ConflictKind;
+    use alter_heap::ObjId;
+
+    #[test]
+    fn conflict_event_round_trips_all_fields() {
+        let ev = Event::ValidateConflict {
+            seq: 7,
+            kind: ConflictKind::Waw,
+            obj: ObjId::from_index(42),
+            word: 3,
+            winner_seq: 5,
+        };
+        assert_eq!(
+            event_json(&ev),
+            "{\"ev\":\"validate_conflict\",\"seq\":7,\"kind\":\"WAW\",\"obj\":42,\"word\":3,\"winner_seq\":5}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = Event::Crash {
+            message: "line1\n\"quoted\"\\x\u{1}".to_owned(),
+        };
+        let json = event_json(&ev);
+        assert!(
+            json.contains("line1\\n\\\"quoted\\\"\\\\x\\u0001"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let evs = vec![
+            Event::RoundStart {
+                round: 0,
+                tasks: 2,
+                snapshot_slots: 5,
+            },
+            Event::RunEnd {
+                rounds: 1,
+                attempts: 2,
+                committed: 2,
+            },
+        ];
+        let jsonl = to_jsonl(&evs);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"ev\":\""));
+            assert!(line.ends_with('}'));
+        }
+    }
+}

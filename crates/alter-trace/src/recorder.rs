@@ -1,0 +1,203 @@
+//! Recorder sinks: where emission sites send their events.
+//!
+//! The engine's hot path pays exactly one branch when tracing is off: every
+//! emission site is written as
+//!
+//! ```ignore
+//! if recorder.is_enabled() {
+//!     recorder.record(Event::...);
+//! }
+//! ```
+//!
+//! so event payloads are never even constructed for a [`NopRecorder`].
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A sink for trace events.
+///
+/// `record` takes `&self` so a recorder can be shared via `Arc` across the
+/// execution stack (engine parameters clone freely); implementations use
+/// interior mutability. All engine emissions happen on the coordinating
+/// thread, so contention is nil — the lock in [`RingRecorder`] is taken
+/// uncontended.
+pub trait Recorder: Send + Sync {
+    /// Whether events should be constructed and recorded at all. Emission
+    /// sites branch on this before building an [`Event`].
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, ev: Event);
+}
+
+/// The zero-cost default: reports disabled, drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NopRecorder;
+
+impl Recorder for NopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ev: Event) {}
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// A bounded in-memory ring buffer of events.
+///
+/// When the buffer is full the *oldest* event is dropped and a drop
+/// counter is bumped — a flight recorder keeps the most recent history.
+/// Dropping is deterministic (a pure function of the event stream and the
+/// capacity), so bounded traces still hash identically across runs.
+pub struct RingRecorder {
+    cap: usize,
+    inner: Mutex<Ring>,
+}
+
+/// Default ring capacity: enough for every round of the evaluation
+/// workloads at inference scale.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+impl RingRecorder {
+    /// A ring holding at most `cap` events (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingRecorder {
+            cap: cap.max(1),
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let g = self.inner.lock().expect("ring poisoned");
+        g.events.iter().cloned().collect()
+    }
+
+    /// How many events were dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").events.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all held events (oldest first) and the drop
+    /// count, resetting both.
+    pub fn take(&self) -> (Vec<Event>, u64) {
+        let mut g = self.inner.lock().expect("ring poisoned");
+        let evs = g.events.drain(..).collect();
+        let dropped = std::mem::take(&mut g.dropped);
+        (evs, dropped)
+    }
+
+    /// Clears all held events and the drop counter.
+    pub fn clear(&self) {
+        let _ = self.take();
+    }
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        RingRecorder::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for RingRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingRecorder")
+            .field("cap", &self.cap)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, ev: Event) {
+        let mut g = self.inner.lock().expect("ring poisoned");
+        if g.events.len() == self.cap {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        Event::RoundStart {
+            round: n,
+            tasks: 1,
+            snapshot_slots: 0,
+        }
+    }
+
+    #[test]
+    fn nop_recorder_reports_disabled() {
+        let r = NopRecorder;
+        assert!(!r.is_enabled());
+        r.record(ev(0)); // must not panic
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let r = RingRecorder::new(3);
+        assert!(r.is_enabled());
+        for n in 0..5 {
+            r.record(ev(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(evs[0], Event::RoundStart { round: 2, .. }));
+        assert!(matches!(evs[2], Event::RoundStart { round: 4, .. }));
+    }
+
+    #[test]
+    fn take_drains_and_resets() {
+        let r = RingRecorder::new(2);
+        r.record(ev(0));
+        r.record(ev(1));
+        r.record(ev(2));
+        let (evs, dropped) = r.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(dropped, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let r = RingRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.record(ev(0));
+        r.record(ev(1));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -53,7 +53,7 @@ impl AggloClust {
             points,
             target: points / 8,
             max_passes: 64,
-            seed: 0xa661,
+            seed: 0x1234,
         }
     }
 

@@ -3,8 +3,6 @@
 use alter_infer::{InferTarget, Model, Probe};
 use alter_runtime::RedOp;
 use alter_sim::CostModel;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Input scale: small inputs for annotation inference and tests, larger
 /// inputs for the speedup figures — mirroring Table 2's two input columns.
@@ -48,20 +46,108 @@ pub trait Benchmark: InferTarget + Sync {
     }
 }
 
-/// A deterministic RNG for workload input generation. Every workload
-/// derives its inputs from a fixed seed so that each probe sees identical
-/// state — the precondition for "one run per test" inference.
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+/// A SplitMix64 pseudo-random generator — the in-repo replacement for the
+/// `rand` crate (the workspace builds fully offline). Determinism is a
+/// *feature*: every workload derives its inputs from a fixed seed so that
+/// each probe sees identical state — the precondition for "one run per
+/// test" inference — and a seedless, dependency-free generator keeps the
+/// input stream identical across toolchains and platforms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits (Steele, Lea, Flood: "Fast splittable
+    /// pseudorandom number generators", OOPSLA 2014).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)` from the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (mirrors `rand::Rng::gen_range` for
+    /// the range shapes the workloads use). Integer sampling uses a simple
+    /// modulo — the negligible bias is irrelevant here, reproducibility is
+    /// what matters.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// A range shape [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        assert!(self.start < self.end, "empty usize range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<i64> {
+    type Output = i64;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> i64 {
+        assert!(self.start < self.end, "empty i64 range");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as i64
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty inclusive range");
+        let span = (hi - lo) as u64 + 1;
+        lo + (rng.next_u64() % span) as usize
+    }
+}
+
+/// A deterministic RNG for workload input generation, seeded per workload.
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }
 
 /// `n` uniform floats in `[lo, hi)`.
-pub fn uniform_f64s(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+pub fn uniform_f64s(rng: &mut SplitMix64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
     (0..n).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
 /// `n` uniform integers in `[0, bound)`.
-pub fn uniform_usizes(rng: &mut SmallRng, n: usize, bound: usize) -> Vec<usize> {
+pub fn uniform_usizes(rng: &mut SplitMix64, n: usize, bound: usize) -> Vec<usize> {
     (0..n).map(|_| rng.gen_range(0..bound)).collect()
 }
 

@@ -25,7 +25,6 @@ use alter_runtime::{
     detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
-use rand::Rng;
 
 const INF: f64 = 1e30;
 

@@ -31,7 +31,6 @@ use alter_runtime::{
     detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
-use rand::Rng;
 
 /// Sparse/dense system `Ax = b` with a strictly diagonally dominant `A`.
 #[derive(Clone, Debug)]

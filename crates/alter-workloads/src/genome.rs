@@ -17,7 +17,6 @@ use alter_runtime::{
     detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
-use rand::Rng;
 
 /// The Genome segment-deduplication benchmark.
 #[derive(Clone, Debug)]

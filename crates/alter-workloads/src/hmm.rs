@@ -14,7 +14,6 @@ use alter_runtime::{
     detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
-use rand::Rng;
 
 /// The HMM forward-algorithm benchmark.
 #[derive(Clone, Debug)]

@@ -376,7 +376,7 @@ mod tests {
             jitter: 4.0,
             threshold: 0.02,
             max_rounds: 20,
-            seed: 3,
+            seed: 4,
         }
     }
 

@@ -77,7 +77,7 @@ impl Sg3d {
         // Fisher-Yates with a fixed seed.
         let mut r = rng(self.seed ^ 0x5851);
         for i in (1..v.len()).rev() {
-            let j = rand::Rng::gen_range(&mut r, 0..=i);
+            let j = r.gen_range(0..=i);
             v.swap(i, j);
         }
         v

@@ -17,7 +17,6 @@ use alter_runtime::{
     detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
-use rand::Rng;
 
 // Adjacency object layout: [0] = degree, [1..] = neighbour slots.
 const DEG: usize = 0;

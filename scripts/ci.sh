@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: format, lint, build, test — fully offline (the workspace has
+# no external dependencies). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== fmt --check =="
+cargo fmt --all --check
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build --release =="
+cargo build --release
+
+echo "== test (workspace) =="
+cargo test --workspace --quiet
+
+echo "tier-1 gate: OK"

@@ -4,6 +4,8 @@
 //! dependency. See the individual crates for details:
 //!
 //! * [`heap`] — versioned object heap, snapshots, COW transactions.
+//! * [`trace`] — deterministic structured tracing: events, recorders,
+//!   metrics, JSONL export, flight-recorder rendering, trace hashing.
 //! * [`runtime`] — annotation language, conflict policies, reductions, and
 //!   the deterministic fork-join loop executor.
 //! * [`collections`] — `AlterVec` / `AlterList` / `AlterMap` collection
@@ -41,4 +43,5 @@ pub use alter_heap as heap;
 pub use alter_infer as infer;
 pub use alter_runtime as runtime;
 pub use alter_sim as sim;
+pub use alter_trace as trace;
 pub use alter_workloads as workloads;

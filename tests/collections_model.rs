@@ -1,12 +1,36 @@
-//! Model-based property tests for the ALTER collection classes: the
-//! transactional structures must behave exactly like their std
-//! counterparts under arbitrary operation sequences.
+//! Model-based tests for the ALTER collection classes: the transactional
+//! structures must behave exactly like their std counterparts under
+//! arbitrary operation sequences.
+//!
+//! Operation sequences come from a fixed-seed SplitMix64 stream (the
+//! workspace builds offline, without `proptest`), so failures replay
+//! exactly; each assertion names its case index.
 
 use alter::collections::{AlterHashSet, AlterList, AlterVec};
 use alter::heap::{Heap, ObjId};
 use alter::runtime::{Driver, ExecParams, LoopBuilder};
-use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// Minimal SplitMix64 for deterministic case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
 
 /// Sequential list operations, applied to both AlterList and a Vec model.
 #[derive(Clone, Debug)]
@@ -16,20 +40,22 @@ enum ListOp {
     Remove(usize),
 }
 
-fn list_op_strategy() -> impl Strategy<Value = ListOp> {
-    prop_oneof![
-        (-1000i64..1000).prop_map(ListOp::PushBack),
-        (0usize..64).prop_map(ListOp::Remove),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// AlterList behaves as a `Vec` model under arbitrary push/remove
-    /// sequences (sequential API).
-    #[test]
-    fn alter_list_matches_vec_model(ops in prop::collection::vec(list_op_strategy(), 0..48)) {
+/// AlterList behaves as a `Vec` model under arbitrary push/remove
+/// sequences (sequential API).
+#[test]
+fn alter_list_matches_vec_model() {
+    let mut rng = Rng(0xc011_0001);
+    for case in 0..96 {
+        let n_ops = rng.below(48);
+        let ops: Vec<ListOp> = (0..n_ops)
+            .map(|_| {
+                if rng.below(2) == 0 {
+                    ListOp::PushBack(rng.range_i64(-1000, 1000))
+                } else {
+                    ListOp::Remove(rng.below(64))
+                }
+            })
+            .collect();
         let mut heap = Heap::new();
         let list: AlterList<i64> = AlterList::new(&mut heap);
         let mut model: Vec<i64> = Vec::new();
@@ -48,22 +74,25 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(list.seq_values(&heap), model.clone());
-            prop_assert_eq!(list.len(&heap), model.len());
-            prop_assert_eq!(list.is_empty(&heap), model.is_empty());
+            assert_eq!(list.seq_values(&heap), model, "case {case}");
+            assert_eq!(list.len(&heap), model.len(), "case {case}");
+            assert_eq!(list.is_empty(&heap), model.is_empty(), "case {case}");
         }
     }
+}
 
-    /// AlterHashSet agrees with `std::collections::HashSet` on membership
-    /// and cardinality after arbitrary insert streams run through the
-    /// transactional engine.
-    #[test]
-    fn alter_hashset_matches_std_model(
-        keys in prop::collection::vec(-200i64..200, 1..120),
-        buckets in 1usize..40,
-        cap in 1usize..6,
-        workers in 1usize..5,
-    ) {
+/// AlterHashSet agrees with `std::collections::HashSet` on membership and
+/// cardinality after arbitrary insert streams run through the
+/// transactional engine.
+#[test]
+fn alter_hashset_matches_std_model() {
+    let mut rng = Rng(0xc011_0002);
+    for case in 0..48 {
+        let n_keys = 1 + rng.below(119);
+        let keys: Vec<i64> = (0..n_keys).map(|_| rng.range_i64(-200, 200)).collect();
+        let buckets = 1 + rng.below(39);
+        let cap = 1 + rng.below(5);
+        let workers = 1 + rng.below(4);
         let mut heap = Heap::new();
         let set = AlterHashSet::new(&mut heap, buckets, cap);
         let params = ExecParams::new(workers, 4);
@@ -75,21 +104,25 @@ proptest! {
             })
             .unwrap();
         let model: HashSet<i64> = keys.iter().copied().collect();
-        prop_assert_eq!(set.seq_len(&heap), model.len());
+        assert_eq!(set.seq_len(&heap), model.len(), "case {case}");
         let got: HashSet<i64> = set.seq_keys(&heap).into_iter().collect();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model, "case {case}");
     }
+}
 
-    /// AlterVec round-trips arbitrary contents through transactional and
-    /// sequential access.
-    #[test]
-    fn alter_vec_roundtrips(values in prop::collection::vec(any::<i64>(), 1..64)) {
+/// AlterVec round-trips arbitrary contents through transactional and
+/// sequential access.
+#[test]
+fn alter_vec_roundtrips() {
+    let mut rng = Rng(0xc011_0003);
+    for case in 0..48 {
+        let n = 1 + rng.below(63);
+        let values: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
         let mut heap = Heap::new();
         let v: AlterVec<i64> = AlterVec::from_slice(&mut heap, &values);
-        prop_assert_eq!(v.seq_to_vec(&heap), values.clone());
+        assert_eq!(v.seq_to_vec(&heap), values, "case {case}");
 
         // Rotate every element by one slot inside a parallel loop.
-        let n = values.len();
         let params = ExecParams::new(2, 4);
         let snapshot = values.clone();
         LoopBuilder::new(&params)
@@ -100,7 +133,7 @@ proptest! {
             })
             .unwrap();
         let expect: Vec<i64> = (0..n).map(|i| values[(i + 1) % n]).collect();
-        prop_assert_eq!(v.seq_to_vec(&heap), expect);
+        assert_eq!(v.seq_to_vec(&heap), expect, "case {case}");
     }
 }
 

@@ -1,0 +1,346 @@
+//! Trace-oracle tests: the structured-event recorder must be deterministic
+//! (two identical runs produce byte-identical JSONL and equal hashes) and
+//! exact (a validation failure names the first conflicting word and the
+//! committed transaction that owns it), and the aggregate `RunStats` /
+//! per-task `TaskReport` views must stay mutually consistent.
+
+use alter::heap::{Heap, ObjData};
+use alter::infer::{Model, Probe};
+use alter::runtime::{
+    run_loop, run_loop_observed, CommitOrder, ConflictPolicy, Driver, ExecParams, RangeSpace,
+    RedVars, RoundObserver, RoundReport, RunStats, TaskReport,
+};
+use alter::trace::{to_jsonl, trace_hash, ConflictKind, Event, Recorder, RingRecorder};
+use alter::workloads::{genome::Genome, Scale};
+use std::sync::Arc;
+
+/// Runs Genome under a `[StaleReads]` probe with a fresh recorder and
+/// returns the canonical JSONL transcript and its hash.
+fn genome_stalereads_trace() -> (String, u64) {
+    let bench = Genome::new(Scale::Inference);
+    let rec = Arc::new(RingRecorder::default());
+    let mut probe = Probe::new(Model::StaleReads, 4, 16);
+    probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    alter::infer::InferTarget::run_probe(&bench, &probe).expect("Genome probe must complete");
+    let events = rec.events();
+    assert_eq!(rec.dropped(), 0, "ring must hold the whole trace");
+    (to_jsonl(&events), trace_hash(&events))
+}
+
+/// The determinism oracle: the same workload under the same annotation
+/// produces a byte-identical event transcript — and hence an equal 64-bit
+/// trace hash — on every run. Genome retries under StaleReads (its segment
+/// joins collide), so this covers the conflict/retry paths, not just a
+/// straight-line commit sequence.
+#[test]
+fn genome_trace_is_deterministic_under_stalereads() {
+    let (jsonl_a, hash_a) = genome_stalereads_trace();
+    let (jsonl_b, hash_b) = genome_stalereads_trace();
+    assert!(
+        jsonl_a.contains("\"ev\":\"validate_conflict\""),
+        "trace must exercise the conflict path"
+    );
+    assert_eq!(jsonl_a, jsonl_b, "JSONL transcripts must be byte-identical");
+    assert_eq!(hash_a, hash_b, "trace hashes must agree");
+}
+
+fn first_conflict(events: &[Event]) -> Option<&Event> {
+    events
+        .iter()
+        .find(|e| matches!(e, Event::ValidateConflict { .. }))
+}
+
+/// A hand-built WAW overlap: tx 0 writes words {2, 3}, tx 1 writes
+/// {3, 5} of the same object. Under `WAW + OutOfOrder` the conflict event
+/// must name word 3 — the *first* shared word in (object, word) order —
+/// and tx 0 as the committed winner.
+#[test]
+fn waw_conflict_names_first_word_and_winner() {
+    let mut heap = Heap::new();
+    let arr = heap.alloc(ObjData::zeros_i64(16));
+    let rec = Arc::new(RingRecorder::default());
+    let mut p = ExecParams::new(2, 1);
+    p.conflict = ConflictPolicy::Waw;
+    p.order = CommitOrder::OutOfOrder;
+    let p = p.with_recorder(rec.clone() as Arc<dyn Recorder>);
+    run_loop(
+        &mut heap,
+        &mut RedVars::new(),
+        &mut RangeSpace::new(0, 2),
+        &p,
+        Driver::sequential(),
+        |ctx, i| {
+            if i == 0 {
+                ctx.tx.write_i64(arr, 2, 10);
+                ctx.tx.write_i64(arr, 3, 11);
+            } else {
+                ctx.tx.write_i64(arr, 3, 12);
+                ctx.tx.write_i64(arr, 5, 13);
+            }
+        },
+    )
+    .unwrap();
+    let events = rec.events();
+    match first_conflict(&events) {
+        Some(&Event::ValidateConflict {
+            seq,
+            kind,
+            obj,
+            word,
+            winner_seq,
+        }) => {
+            assert_eq!(seq, 1, "the later transaction loses");
+            assert_eq!(kind, ConflictKind::Waw);
+            assert_eq!(obj, arr);
+            assert_eq!(word, 3, "first shared word in ascending order");
+            assert_eq!(winner_seq, 0, "tx 0 committed the word");
+        }
+        other => panic!("expected a WAW ValidateConflict, got {other:?}"),
+    }
+    // The retry must eventually commit both transactions.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::RunEnd { committed: 2, .. })));
+}
+
+/// A hand-built RAW overlap: tx 0 writes word 7; tx 1 reads words {6, 7}
+/// and writes elsewhere. Under `RAW + OutOfOrder` the conflict must be
+/// classified RAW at word 7 with tx 0 as winner.
+#[test]
+fn raw_conflict_names_first_word_and_winner() {
+    let mut heap = Heap::new();
+    let arr = heap.alloc(ObjData::zeros_i64(16));
+    let rec = Arc::new(RingRecorder::default());
+    let mut p = ExecParams::new(2, 1);
+    p.conflict = ConflictPolicy::Raw;
+    p.order = CommitOrder::OutOfOrder;
+    let p = p.with_recorder(rec.clone() as Arc<dyn Recorder>);
+    run_loop(
+        &mut heap,
+        &mut RedVars::new(),
+        &mut RangeSpace::new(0, 2),
+        &p,
+        Driver::sequential(),
+        |ctx, i| {
+            if i == 0 {
+                ctx.tx.write_i64(arr, 7, 42);
+            } else {
+                let a = ctx.tx.read_i64(arr, 6);
+                let b = ctx.tx.read_i64(arr, 7);
+                ctx.tx.write_i64(arr, 12, a + b);
+            }
+        },
+    )
+    .unwrap();
+    let events = rec.events();
+    match first_conflict(&events) {
+        Some(&Event::ValidateConflict {
+            seq,
+            kind,
+            obj,
+            word,
+            winner_seq,
+        }) => {
+            assert_eq!(seq, 1);
+            assert_eq!(kind, ConflictKind::Raw);
+            assert_eq!(obj, arr);
+            assert_eq!(word, 7, "the word tx 1 read and tx 0 wrote");
+            assert_eq!(winner_seq, 0);
+        }
+        other => panic!("expected a RAW ValidateConflict, got {other:?}"),
+    }
+}
+
+/// Disjoint transactions must record no conflict events at all.
+#[test]
+fn disjoint_transactions_emit_no_conflicts() {
+    let mut heap = Heap::new();
+    let arr = heap.alloc(ObjData::zeros_i64(16));
+    let rec = Arc::new(RingRecorder::default());
+    let mut p = ExecParams::new(2, 1);
+    p.conflict = ConflictPolicy::Full;
+    p.order = CommitOrder::OutOfOrder;
+    let p = p.with_recorder(rec.clone() as Arc<dyn Recorder>);
+    run_loop(
+        &mut heap,
+        &mut RedVars::new(),
+        &mut RangeSpace::new(0, 2),
+        &p,
+        Driver::sequential(),
+        |ctx, i| ctx.tx.write_i64(arr, i as usize, 1),
+    )
+    .unwrap();
+    assert!(first_conflict(&rec.events()).is_none());
+}
+
+/// A body panic suppressed by `quiet_panics` (the inference engine's
+/// stderr-muting wrapper) still reaches the trace: the engine records
+/// `Event::Crash` with the panic message before unwinding into
+/// `RunError::Crash`, so silenced probes leave evidence.
+#[test]
+fn quiet_panics_still_record_crash_events() {
+    let rec = Arc::new(RingRecorder::default());
+    let p = ExecParams::new(2, 1).with_recorder(rec.clone() as Arc<dyn Recorder>);
+    let result = alter::runtime::quiet::quiet_panics(|| {
+        let mut heap = Heap::new();
+        let _arr = heap.alloc(ObjData::zeros_i64(4));
+        run_loop(
+            &mut heap,
+            &mut RedVars::new(),
+            &mut RangeSpace::new(0, 2),
+            &p,
+            Driver::sequential(),
+            |_, i| {
+                if i == 1 {
+                    panic!("deliberate probe failure");
+                }
+            },
+        )
+    });
+    assert!(matches!(result, Err(alter::runtime::RunError::Crash(_))));
+    let events = rec.events();
+    let crash = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Crash { message } => Some(message.clone()),
+            _ => None,
+        })
+        .expect("the suppressed panic must appear in the trace");
+    assert!(crash.contains("deliberate probe failure"), "{crash}");
+}
+
+/// `retry_rate` on a run that never attempted anything is 0, not NaN.
+#[test]
+fn retry_rate_of_zero_attempts_is_zero() {
+    let stats = RunStats::default();
+    assert_eq!(stats.attempts, 0);
+    assert_eq!(stats.retry_rate(), 0.0);
+    assert_eq!(stats.avg_rw_words(), 0.0);
+}
+
+/// `absorb` accumulates counters additively and keeps the max of maxima —
+/// the contract the multi-sweep convergence loops rely on.
+#[test]
+fn absorb_accumulates_across_runs() {
+    let run = |iters: u64| {
+        let mut heap = Heap::new();
+        let arr = heap.alloc(ObjData::zeros_i64(64));
+        let mut p = ExecParams::new(2, 2);
+        p.conflict = ConflictPolicy::Full;
+        run_loop(
+            &mut heap,
+            &mut RedVars::new(),
+            &mut RangeSpace::new(0, iters),
+            &p,
+            Driver::sequential(),
+            |ctx, i| ctx.tx.write_i64(arr, i as usize, 1),
+        )
+        .unwrap()
+    };
+    let a = run(8);
+    let b = run(32);
+    let mut total = a;
+    total.absorb(&b);
+    assert_eq!(total.rounds, a.rounds + b.rounds);
+    assert_eq!(total.attempts, a.attempts + b.attempts);
+    assert_eq!(total.committed, a.committed + b.committed);
+    assert_eq!(total.iterations, a.iterations + b.iterations);
+    assert_eq!(total.tracked_words, a.tracked_words + b.tracked_words);
+    assert_eq!(total.validate_words, a.validate_words + b.validate_words);
+    assert_eq!(
+        total.max_tracked_words,
+        a.max_tracked_words.max(b.max_tracked_words)
+    );
+    assert_eq!(total.cost_units(), a.cost_units() + b.cost_units());
+}
+
+/// Collects every `TaskReport` of a run.
+struct Collect(Vec<TaskReport>);
+
+impl RoundObserver for Collect {
+    fn on_round(&mut self, report: &RoundReport<'_>) {
+        self.0.extend(report.tasks.iter().cloned());
+    }
+}
+
+/// A forced-conflict in-order run: three single-iteration transactions all
+/// bump word 0, under `RAW + InOrder` (TLS). Per round, the first
+/// transaction commits, the next fails validation with an exact
+/// `ConflictDetail`, and any later ones are squashed. The per-task
+/// reports, the aggregate stats, and the trace events must all tell the
+/// same story.
+#[test]
+fn task_reports_are_consistent_in_a_forced_conflict_run() {
+    let mut heap = Heap::new();
+    let arr = heap.alloc(ObjData::zeros_i64(4));
+    let rec = Arc::new(RingRecorder::default());
+    let mut p = ExecParams::new(3, 1);
+    p.conflict = ConflictPolicy::Raw;
+    p.order = CommitOrder::InOrder;
+    let p = p.with_recorder(rec.clone() as Arc<dyn Recorder>);
+    let mut collect = Collect(Vec::new());
+    let stats = run_loop_observed(
+        &mut heap,
+        &mut RedVars::new(),
+        &mut RangeSpace::new(0, 3),
+        &p,
+        Driver::sequential(),
+        |ctx, _| {
+            let v = ctx.tx.read_i64(arr, 0);
+            ctx.tx.write_i64(arr, 0, v + 1);
+        },
+        &mut collect,
+    )
+    .unwrap();
+
+    // Sequential semantics hold (Theorem 4.3), so all three increments land.
+    assert_eq!(heap.get(arr).i64s()[0], 3);
+
+    let reports = collect.0;
+    assert_eq!(reports.len() as u64, stats.attempts);
+    assert_eq!(
+        reports.iter().filter(|r| r.committed).count() as u64,
+        stats.committed
+    );
+    for r in &reports {
+        assert!(
+            !(r.committed && r.squashed),
+            "tx {} both committed and squashed",
+            r.seq
+        );
+        if r.committed || r.squashed {
+            assert!(
+                r.conflict.is_none(),
+                "tx {} carries a conflict detail without failing validation",
+                r.seq
+            );
+        } else {
+            let d = r.conflict.expect("a validation failure names its conflict");
+            assert_eq!(d.kind, ConflictKind::Raw);
+            assert_eq!(d.obj, arr);
+            assert_eq!(d.word, 0);
+            assert!(
+                d.winner_seq < r.seq,
+                "winner must be an earlier transaction"
+            );
+        }
+    }
+    // Round 0 runs tx 0,1,2: tx 0 commits, tx 1 conflicts, tx 2 is
+    // squashed by tx 1's failure — and the trace says exactly that.
+    let events = rec.events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::ValidateConflict {
+            seq: 1,
+            winner_seq: 0,
+            kind: ConflictKind::Raw,
+            word: 0,
+            ..
+        }
+    )));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Squash { seq: 2, by_seq: 1 })));
+    // Squashed tasks also appear in the reports as squashed, not failed.
+    assert!(reports.iter().any(|r| r.squashed && r.seq == 2));
+}
