@@ -32,6 +32,9 @@ flags:
   --chunk N    chunk factor                       (default: tuned cf)
   --jsonl      dump the raw JSONL event stream instead of the timeline
   --twice      run the probe twice and verify byte-identical traces
+  --no-fast-validation
+               disable the fingerprint validation fast path (A/B runs;
+               the trace hash is identical either way)
   --list       list workload names and exit";
 
 fn list_workloads() {
@@ -72,17 +75,30 @@ fn parse_model(s: &str) -> Option<Model> {
 }
 
 /// Runs `probe` against `bench` with a fresh ring recorder and returns the
-/// captured events plus the run verdict line.
-fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String) {
+/// captured events, the run verdict line, and the runtime's validation
+/// fast-path counters `[fingerprint_hits, fingerprint_rejects, pool_reuses,
+/// exact_scan_words]` (zeros when the run aborted). The counters travel
+/// outside the event stream — traces are byte-identical with the fast path
+/// on or off.
+fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 4]) {
     let rec = Arc::new(RingRecorder::default());
     let mut probe = probe.clone();
     probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    let mut counters = [0u64; 4];
     let verdict = match bench.run_probe(&probe) {
-        Ok(run) => format!(
-            "run: ok  (retry rate {:.3}, {:.1} sequential-work units)",
-            run.stats.retry_rate(),
-            run.clock.seq_units
-        ),
+        Ok(run) => {
+            counters = [
+                run.stats.fingerprint_hits,
+                run.stats.fingerprint_rejects,
+                run.stats.pool_reuses,
+                run.stats.exact_scan_words,
+            ];
+            format!(
+                "run: ok  (retry rate {:.3}, {:.1} sequential-work units)",
+                run.stats.retry_rate(),
+                run.clock.seq_units
+            )
+        }
         Err(e) => format!("run: aborted ({e})"),
     };
     let events = rec.events();
@@ -92,7 +108,7 @@ fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String) {
             rec.dropped()
         );
     }
-    (events, verdict)
+    (events, verdict, counters)
 }
 
 fn main() -> ExitCode {
@@ -112,6 +128,7 @@ fn main() -> ExitCode {
     let mut chunk = None;
     let mut jsonl = false;
     let mut twice = false;
+    let mut fast_validation = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -128,6 +145,7 @@ fn main() -> ExitCode {
             }
             "--jsonl" => jsonl = true,
             "--twice" => twice = true,
+            "--no-fast-validation" => fast_validation = false,
             _ if a.starts_with("--") => {
                 eprintln!("error: unknown flag {a}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -163,15 +181,21 @@ fn main() -> ExitCode {
     if let Some(chunk) = chunk {
         probe.chunk = chunk;
     }
+    probe.fast_validation = fast_validation;
 
     println!(
-        "{} under [{}], {} worker(s), chunk {}",
+        "{} under [{}], {} worker(s), chunk {}{}",
         bench.name(),
         probe.describe(),
         probe.workers,
-        probe.chunk
+        probe.chunk,
+        if fast_validation {
+            ""
+        } else {
+            " (exact validation)"
+        }
     );
-    let (events, verdict) = record_run(bench.as_ref(), &probe);
+    let (events, verdict, counters) = record_run(bench.as_ref(), &probe);
     println!("{verdict}");
     println!();
 
@@ -181,13 +205,15 @@ fn main() -> ExitCode {
         print!("{}", alter_trace::render_timeline(&events));
     }
     println!();
-    print!("{}", Metrics::from_events(&events).render());
+    let mut metrics = Metrics::from_events(&events);
+    metrics.record_validation_counters(counters[0], counters[1], counters[2], counters[3]);
+    print!("{}", metrics.render());
     println!();
     let hash = trace_hash(&events);
     println!("trace hash: {}", format_hash(hash));
 
     if twice {
-        let (events2, _) = record_run(bench.as_ref(), &probe);
+        let (events2, _, _) = record_run(bench.as_ref(), &probe);
         let identical = to_jsonl(&events) == to_jsonl(&events2);
         let hash2 = trace_hash(&events2);
         println!(

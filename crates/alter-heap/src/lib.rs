@@ -41,11 +41,13 @@ mod alloc;
 pub mod fx;
 mod heap;
 mod object;
+mod pool;
 mod sets;
 mod tx;
 
 pub use alloc::{IdReservation, DEFAULT_BLOCK_SIZE};
 pub use heap::{CommitOps, Heap, Snapshot};
 pub use object::{ObjData, ObjId, ObjKind};
-pub use sets::{AccessSet, RangeSet};
+pub use pool::{TxBufferPool, TxBuffers};
+pub use sets::{AccessSet, Fingerprint, RangeSet};
 pub use tx::{MemoryExceeded, TrackMode, Tx, TxEffects, TxStats};

@@ -7,8 +7,89 @@
 //! deterministic hash map from allocation to a set of word ranges, which
 //! doubles as the structure other transactions probe during validation.
 
-use crate::fx::FxHashMap;
+use crate::fx::{FxHashMap, FxHasher};
 use crate::object::ObjId;
+use std::hash::Hasher as _;
+
+/// Words per fingerprint block: accesses are fingerprinted at the
+/// granularity of `(allocation, word >> FINGERPRINT_BLOCK_SHIFT)`, so one
+/// hash covers a 64-word block. Coarser blocks keep range inserts cheap;
+/// the exact merge-scan behind the fingerprint restores word precision.
+const FINGERPRINT_BLOCK_SHIFT: u32 = 6;
+
+/// A 128-bit Bloom-style fingerprint of an access set, maintained
+/// incrementally on insert (paper §4.1 keeps a hash set *plus* a global
+/// array so conflict checks are cheap; this is the analogous cheap
+/// pre-filter in front of the exact range scan).
+///
+/// Each inserted `(ObjId, word-block)` pair sets two bits derived from its
+/// deterministic FxHash. The only guarantee is one-sided and that is the
+/// point: if two fingerprints share no bit, the underlying sets share no
+/// `(allocation, word)` — so [`Fingerprint::may_intersect`] returning
+/// `false` proves [`AccessSet::overlaps`] is `false`. False positives
+/// merely fall through to the exact scan; verdicts never change.
+///
+/// ```
+/// use alter_heap::{AccessSet, ObjId};
+/// let mut a = AccessSet::new();
+/// a.insert(ObjId::from_index(1), 0, 8);
+/// let mut b = AccessSet::new();
+/// b.insert(ObjId::from_index(2), 0, 8);
+/// if !a.fingerprint().may_intersect(b.fingerprint()) {
+///     assert!(!a.overlaps(&b)); // the rejection is always sound
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fingerprint {
+    bits: [u64; 2],
+}
+
+impl Fingerprint {
+    /// The empty fingerprint (matches the empty set).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one `(allocation, block)` element in.
+    #[inline]
+    fn insert_block(&mut self, id: ObjId, block: u32) {
+        let mut h = FxHasher::default();
+        h.write_u32(id.index());
+        h.write_u32(block);
+        let hash = h.finish();
+        // Two independent bit positions in 0..128 from disjoint hash bits.
+        let b1 = (hash & 127) as usize;
+        let b2 = ((hash >> 7) & 127) as usize;
+        self.bits[b1 >> 6] |= 1u64 << (b1 & 63);
+        self.bits[b2 >> 6] |= 1u64 << (b2 & 63);
+    }
+
+    /// Folds the blocks covered by words `lo..hi` of `id` in.
+    #[inline]
+    fn insert_range(&mut self, id: ObjId, lo: u32, hi: u32) {
+        debug_assert!(lo < hi);
+        for block in (lo >> FINGERPRINT_BLOCK_SHIFT)..=((hi - 1) >> FINGERPRINT_BLOCK_SHIFT) {
+            self.insert_block(id, block);
+        }
+    }
+
+    /// Whether the sets behind the two fingerprints *may* share an element.
+    /// `false` is a proof of disjointness; `true` says nothing.
+    #[inline]
+    pub fn may_intersect(self, other: Fingerprint) -> bool {
+        (self.bits[0] & other.bits[0]) | (self.bits[1] & other.bits[1]) != 0
+    }
+
+    /// Whether no element was ever folded in.
+    pub fn is_empty(self) -> bool {
+        self.bits == [0, 0]
+    }
+
+    /// Resets to the empty fingerprint.
+    pub fn clear(&mut self) {
+        self.bits = [0, 0];
+    }
+}
 
 /// A sorted, coalesced set of half-open word ranges within one allocation.
 ///
@@ -128,6 +209,13 @@ impl RangeSet {
         self.ranges.is_empty()
     }
 
+    /// Removes all ranges, retaining the backing vector's capacity so a
+    /// recycled set (see [`AccessSet::clear`] and the runtime's buffer
+    /// pool) inserts without reallocating.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
     /// Iterates over the maximal ranges in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.ranges.iter().copied()
@@ -153,10 +241,29 @@ impl RangeSet {
 /// ([`AccessSet::iter_sorted`]) so that every consumer of the set is
 /// deterministic — determinism is a headline guarantee of the runtime
 /// (paper §4.3).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct AccessSet {
     map: FxHashMap<ObjId, RangeSet>,
     words: u64,
+    /// Bloom-style summary maintained incrementally by [`AccessSet::insert`]
+    /// — the O(1) pre-filter in front of the exact merge-scan.
+    fp: Fingerprint,
+    /// Cleared [`RangeSet`]s recycled by [`AccessSet::clear`]; their backing
+    /// vectors keep their capacity and are reused by later inserts.
+    spare: Vec<RangeSet>,
+}
+
+impl Clone for AccessSet {
+    fn clone(&self) -> Self {
+        AccessSet {
+            map: self.map.clone(),
+            words: self.words,
+            fp: self.fp,
+            // Spare capacity is a recycling detail of the original, not part
+            // of the set's value.
+            spare: Vec::new(),
+        }
+    }
 }
 
 impl AccessSet {
@@ -170,7 +277,12 @@ impl AccessSet {
         if lo >= hi {
             return;
         }
-        let set = self.map.entry(id).or_default();
+        self.fp.insert_range(id, lo, hi);
+        let spare = &mut self.spare;
+        let set = self
+            .map
+            .entry(id)
+            .or_insert_with(|| spare.pop().unwrap_or_default());
         let before = set.words();
         set.insert(lo, hi);
         self.words += set.words() - before;
@@ -265,10 +377,29 @@ impl AccessSet {
         self.map.is_empty()
     }
 
-    /// Removes all recorded accesses.
+    /// Removes all recorded accesses, retaining capacity: the allocation
+    /// map keeps its table, and each per-allocation [`RangeSet`] is drained
+    /// into a spare list for reuse by later inserts — the `clear()`-style
+    /// recycling the cross-round buffer pool relies on.
     pub fn clear(&mut self) {
-        self.map.clear();
+        for (_, mut ranges) in self.map.drain() {
+            ranges.clear();
+            self.spare.push(ranges);
+        }
         self.words = 0;
+        self.fp.clear();
+    }
+
+    /// The Bloom-style fingerprint summarizing this set (empty set ⇒ empty
+    /// fingerprint).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fp
+    }
+
+    /// O(1) conservative overlap pre-check: `false` proves
+    /// [`AccessSet::overlaps`] is `false`; `true` requires the exact scan.
+    pub fn may_overlap(&self, other: &AccessSet) -> bool {
+        self.fp.may_intersect(other.fp)
     }
 
     /// Iterates over `(allocation, ranges)` in ascending `ObjId` order.
@@ -406,6 +537,84 @@ mod tests {
         assert_eq!(b.first_overlap(&a), Some((id(2), 10)));
         let empty = AccessSet::new();
         assert_eq!(a.first_overlap(&empty), None);
+    }
+
+    #[test]
+    fn rangeset_clear_retains_capacity() {
+        let mut r = RangeSet::new();
+        r.insert(0, 2);
+        r.insert(10, 12);
+        let cap = r.ranges.capacity();
+        assert!(cap >= 2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.ranges.capacity(), cap, "clear must not shrink");
+        r.insert(5, 7);
+        assert_eq!(r.words(), 2);
+    }
+
+    #[test]
+    fn accessset_clear_recycles_rangesets_and_resets_fingerprint() {
+        let mut s = AccessSet::new();
+        s.insert(id(1), 0, 4);
+        s.insert(id(2), 8, 16);
+        assert!(!s.fingerprint().is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.words(), 0);
+        assert!(s.fingerprint().is_empty());
+        assert_eq!(s.spare.len(), 2, "cleared range sets are kept for reuse");
+        s.insert(id(3), 0, 1);
+        assert_eq!(s.spare.len(), 1, "a reused range set left the spare list");
+        assert_eq!(s.words(), 1);
+    }
+
+    #[test]
+    fn fingerprint_reject_implies_no_overlap() {
+        // Exhaustive-ish sweep of small disjoint pairs: whenever the
+        // fingerprints reject, the exact answer must be "no overlap" —
+        // and whenever the sets do overlap, the fingerprints must hit.
+        for n in 0..64u32 {
+            let mut a = AccessSet::new();
+            let mut b = AccessSet::new();
+            a.insert(id(n), n, n + 3);
+            b.insert(id(n + 1), n, n + 3); // different allocation
+            if !a.may_overlap(&b) {
+                assert!(!a.overlaps(&b));
+            }
+            let mut c = AccessSet::new();
+            c.insert(id(n), n + 1, n + 2); // genuine overlap with `a`
+            assert!(a.overlaps(&c));
+            assert!(
+                a.may_overlap(&c),
+                "a real overlap must never be fingerprint-rejected (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_survives_clone_and_union() {
+        let mut a = AccessSet::new();
+        a.insert(id(9), 100, golden());
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut u = AccessSet::new();
+        u.union_with(&a);
+        assert!(u.may_overlap(&a), "union must carry the donor's blocks");
+    }
+
+    fn golden() -> u32 {
+        // A multi-block range, exercising the per-block fingerprint loop.
+        100 + 3 * 64 + 7
+    }
+
+    #[test]
+    fn empty_fingerprints_never_intersect() {
+        let a = AccessSet::new();
+        let mut b = AccessSet::new();
+        assert!(!a.may_overlap(&b));
+        b.insert(id(1), 0, 1);
+        assert!(!a.may_overlap(&b), "empty set intersects nothing");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::alloc::IdReservation;
 use crate::fx::FxHashMap;
 use crate::heap::Snapshot;
 use crate::object::{ObjData, ObjId};
+use crate::pool::TxBuffers;
 use crate::sets::AccessSet;
 
 /// Which access sets a transaction maintains.
@@ -124,11 +125,30 @@ impl<'s> Tx<'s> {
     /// Creates a transaction over `snap` with the given tracking mode, id
     /// reservation and tracked-memory budget (in words).
     pub fn new(snap: &'s Snapshot, mode: TrackMode, ids: IdReservation, budget_words: u64) -> Self {
+        Self::with_buffers(snap, mode, ids, budget_words, TxBuffers::new())
+    }
+
+    /// Like [`Tx::new`], but starting from recycled buffers (overlay map
+    /// and access sets with retained capacity) handed out by a
+    /// [`crate::TxBufferPool`]. The buffers must be empty; only their
+    /// capacity carries over, so pooled and fresh transactions behave
+    /// identically.
+    pub fn with_buffers(
+        snap: &'s Snapshot,
+        mode: TrackMode,
+        ids: IdReservation,
+        budget_words: u64,
+        bufs: TxBuffers,
+    ) -> Self {
+        debug_assert!(
+            bufs.overlay.is_empty() && bufs.reads.is_empty() && bufs.writes.is_empty(),
+            "pooled buffers must be released empty"
+        );
         Tx {
             snap,
-            overlay: FxHashMap::default(),
-            reads: AccessSet::new(),
-            writes: AccessSet::new(),
+            overlay: bufs.overlay,
+            reads: bufs.reads,
+            writes: bufs.writes,
             mode,
             fresh: Vec::new(),
             freed: Vec::new(),

@@ -76,6 +76,9 @@ pub struct Probe {
     pub work_budget: Option<u64>,
     /// Structured-event sink forwarded to the engine run.
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// Whether the engine may use the validation fast path (on by default;
+    /// off only for A/B measurement — verdicts and traces are identical).
+    pub fast_validation: bool,
 }
 
 impl std::fmt::Debug for Probe {
@@ -88,6 +91,7 @@ impl std::fmt::Debug for Probe {
             .field("budget_words", &self.budget_words)
             .field("work_budget", &self.work_budget)
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
+            .field("fast_validation", &self.fast_validation)
             .finish()
     }
 }
@@ -104,6 +108,7 @@ impl Probe {
             budget_words: u64::MAX,
             work_budget: None,
             recorder: None,
+            fast_validation: true,
         }
     }
 
@@ -120,6 +125,7 @@ impl Probe {
         p.budget_words = self.budget_words;
         p.work_budget = self.work_budget;
         p.recorder = self.recorder.clone();
+        p.fast_validation = self.fast_validation;
         if let Some((name, op)) = &self.reduction {
             let var = reds
                 .lookup(name)

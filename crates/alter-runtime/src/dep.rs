@@ -70,7 +70,7 @@ where
             body(&mut ctx, i);
         }
         let (tx, _) = ctx.into_parts();
-        let effects = tx.finish();
+        let mut effects = tx.finish();
 
         report.raw |= effects.reads.overlaps(&all_writes);
         report.waw |= effects.writes.overlaps(&all_writes);
@@ -78,7 +78,7 @@ where
 
         all_reads.union_with(&effects.reads);
         all_writes.union_with(&effects.writes);
-        heap.apply_commit(build_commit_ops(effects, TrackMode::ReadsAndWrites));
+        heap.apply_commit(build_commit_ops(&mut effects, TrackMode::ReadsAndWrites));
     }
     report
 }

@@ -28,7 +28,7 @@ use crate::reduction::{RedDelta, RedLocals, RedVars};
 use crate::space::IterSpace;
 use alter_heap::{
     AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, ObjId, Snapshot, TrackMode, Tx,
-    TxEffects, TxStats,
+    TxBufferPool, TxBuffers, TxEffects, TxStats,
 };
 use alter_trace::{ConflictKind, Event, Recorder};
 use std::collections::VecDeque;
@@ -92,8 +92,29 @@ pub struct RunStats {
     pub tracked_words: u64,
     /// Largest tracked read+write set of any single attempt.
     pub max_tracked_words: u64,
-    /// Words compared during conflict validation.
+    /// Words charged to conflict validation under the legacy per-earlier-
+    /// writer accounting (`min(earlier writer's words, tracked words)` per
+    /// earlier committer probed). This is the quantity the trace's
+    /// `ValidateOk` events and the virtual-time cost model consume; it is
+    /// computed the same way whether the validation fast path is on or
+    /// off, so traces stay byte-identical. The words an exact scan
+    /// *actually* compared live in
+    /// [`RunStats::exact_scan_words`].
     pub validate_words: u64,
+    /// Validations whose fingerprint pre-check could not prove
+    /// disjointness and fell through to an exact merge-scan (fast path
+    /// only).
+    pub fingerprint_hits: u64,
+    /// Validations rejected in O(1) by the fingerprint pre-check — no
+    /// exact scan ran (fast path only).
+    pub fingerprint_rejects: u64,
+    /// Transaction buffers and round write-set containers served from the
+    /// cross-round recycling pool instead of the allocator.
+    pub pool_reuses: u64,
+    /// Words actually compared by exact validation merge-scans. With the
+    /// fast path on, fingerprint rejects and the cumulative round
+    /// write-set shrink this far below [`RunStats::validate_words`].
+    pub exact_scan_words: u64,
 }
 
 impl RunStats {
@@ -139,6 +160,10 @@ impl RunStats {
         self.tracked_words += other.tracked_words;
         self.max_tracked_words = self.max_tracked_words.max(other.max_tracked_words);
         self.validate_words += other.validate_words;
+        self.fingerprint_hits += other.fingerprint_hits;
+        self.fingerprint_rejects += other.fingerprint_rejects;
+        self.pool_reuses += other.pool_reuses;
+        self.exact_scan_words += other.exact_scan_words;
     }
 }
 
@@ -242,6 +267,7 @@ type TaskOutcome = Result<(TxEffects, Vec<RedDelta>), TaskPanic>;
 fn run_one_task<B: LoopBody + ?Sized>(
     snap: &Snapshot,
     task: &PendingTask,
+    bufs: TxBuffers,
     worker: usize,
     base: u32,
     params: &ExecParams,
@@ -250,8 +276,8 @@ fn run_one_task<B: LoopBody + ?Sized>(
     body: &B,
 ) -> TaskOutcome {
     let ids = IdReservation::new(base, worker, params.workers, params.alloc_block);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let tx = Tx::new(snap, mode, ids, params.budget_words);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let tx = Tx::with_buffers(snap, mode, ids, params.budget_words, bufs);
         let locals = RedLocals::for_policy(&params.reductions, reds);
         let mut ctx = TxCtx::new(tx, locals);
         for &i in &task.iters {
@@ -278,20 +304,23 @@ fn execute_round<B: LoopBody>(
     threaded: bool,
     snap: &Snapshot,
     tasks: &[PendingTask],
+    bufs: Vec<TxBuffers>,
     base: u32,
     params: &ExecParams,
     reds: &RedVars,
     mode: TrackMode,
     body: &B,
 ) -> Vec<TaskOutcome> {
+    debug_assert_eq!(tasks.len(), bufs.len());
     if threaded && tasks.len() > 1 {
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .iter()
+                .zip(bufs)
                 .enumerate()
-                .map(|(worker, task)| {
+                .map(|(worker, (task, buf))| {
                     scope.spawn(move || {
-                        run_one_task(snap, task, worker, base, params, reds, mode, body)
+                        run_one_task(snap, task, buf, worker, base, params, reds, mode, body)
                     })
                 })
                 .collect();
@@ -303,8 +332,11 @@ fn execute_round<B: LoopBody>(
     } else {
         tasks
             .iter()
+            .zip(bufs)
             .enumerate()
-            .map(|(worker, task)| run_one_task(snap, task, worker, base, params, reds, mode, body))
+            .map(|(worker, (task, buf))| {
+                run_one_task(snap, task, buf, worker, base, params, reds, mode, body)
+            })
             .collect()
     }
 }
@@ -316,6 +348,19 @@ fn conflicts_with(policy: ConflictPolicy, effects: &TxEffects, earlier_writes: &
         }
         ConflictPolicy::Waw => effects.writes.overlaps(earlier_writes),
         ConflictPolicy::Raw => effects.reads.overlaps(earlier_writes),
+        ConflictPolicy::None => false,
+    }
+}
+
+/// O(1) fingerprint pre-check mirroring [`conflicts_with`]: `false` proves
+/// the exact check is `false`; `true` means "cannot rule it out".
+fn may_conflict(policy: ConflictPolicy, effects: &TxEffects, earlier_writes: &AccessSet) -> bool {
+    match policy {
+        ConflictPolicy::Full => {
+            effects.reads.may_overlap(earlier_writes) || effects.writes.may_overlap(earlier_writes)
+        }
+        ConflictPolicy::Waw => effects.writes.may_overlap(earlier_writes),
+        ConflictPolicy::Raw => effects.reads.may_overlap(earlier_writes),
         ConflictPolicy::None => false,
     }
 }
@@ -350,7 +395,10 @@ fn locate_conflict(
     }
 }
 
-pub(crate) fn build_commit_ops(mut effects: TxEffects, mode: TrackMode) -> CommitOps {
+/// Drains `effects` into commit operations, leaving its containers empty
+/// (but with capacity intact) so they can be recycled through the buffer
+/// pool.
+pub(crate) fn build_commit_ops(effects: &mut TxEffects, mode: TrackMode) -> CommitOps {
     let mut ops = CommitOps::default();
     if mode == TrackMode::None {
         // No per-range tracking: commit whole private objects, in id order.
@@ -376,10 +424,10 @@ pub(crate) fn build_commit_ops(mut effects: TxEffects, mode: TrackMode) -> Commi
     }
     ops.allocs = effects
         .allocs
-        .into_iter()
+        .drain(..)
         .map(|(id, data)| (id, Arc::new(data)))
         .collect();
-    ops.frees = effects.frees;
+    ops.frees = std::mem::take(&mut effects.frees);
     ops.frees.sort_unstable();
     ops
 }
@@ -404,6 +452,20 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
     let mut pending: VecDeque<PendingTask> = VecDeque::new();
     let mut next_seq: u64 = 0;
     let mut reports: Vec<TaskReport> = Vec::new();
+    // Cross-round recycling (tentpole of the validation fast path): the pool
+    // lends each task its transaction buffers and takes them back — emptied,
+    // capacity intact — once the task's effects are consumed. It lives on
+    // this coordinating thread and is only touched between rounds, so
+    // recycling cannot perturb determinism: only capacity is reused, never
+    // contents.
+    let mut pool = TxBufferPool::new();
+    // Committed write sets of the current round, one entry per committer
+    // (for conflict attribution), plus their running union. The union's
+    // fingerprint lets validation reject a non-overlapping task in O(1) and
+    // compare against one merged set — instead of scanning every earlier
+    // writer — when it cannot.
+    let mut round_writes: Vec<(u64, AccessSet)> = Vec::new();
+    let mut merged_writes = AccessSet::new();
 
     loop {
         // Assemble the round: retries first (lowest seq first — they are
@@ -440,17 +502,19 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
                 });
             }
         }
-        let outcomes = execute_round(threaded, &snap, &tasks, base, params, reds, mode, body);
+        let bufs: Vec<TxBuffers> = tasks.iter().map(|_| pool.acquire()).collect();
+        let outcomes = execute_round(
+            threaded, &snap, &tasks, bufs, base, params, reds, mode, body,
+        );
 
         // Validate and commit in deterministic task order. Each committed
         // write set is remembered with its owner's sequence number so a
         // later conflict can name the transaction it lost to.
-        let mut round_writes: Vec<(u64, AccessSet)> = Vec::new();
         let mut squash = false;
         let mut squashed_by: u64 = 0;
         reports.clear();
         for (worker, (task, outcome)) in tasks.into_iter().zip(outcomes).enumerate() {
-            let (effects, deltas) = match outcome {
+            let (mut effects, deltas) = match outcome {
                 Ok(v) => v,
                 Err(TaskPanic::Oom(me)) => {
                     if let Some(rec) = rec {
@@ -482,9 +546,64 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
 
             let mut validate_words = 0;
             let mut conflict: Option<ConflictDetail> = None;
-            if !squash {
+            if !squash && params.fast_validation {
+                // Fast path: one fingerprint test against the union of the
+                // round's committed write sets. A reject proves disjointness
+                // from every earlier writer with no scan at all; a hit runs
+                // one exact scan against the merged set instead of one per
+                // earlier writer.
+                let conflicted =
+                    if round_writes.is_empty() || params.conflict == ConflictPolicy::None {
+                        false
+                    } else if may_conflict(params.conflict, &effects, &merged_writes) {
+                        stats.fingerprint_hits += 1;
+                        stats.exact_scan_words += merged_writes.words().min(tracked);
+                        conflicts_with(params.conflict, &effects, &merged_writes)
+                    } else {
+                        stats.fingerprint_rejects += 1;
+                        false
+                    };
+                // Attribution runs only on the conflict path: walk the
+                // per-writer log in commit order to name the first earlier
+                // transaction this one lost to — the same writer and word
+                // the per-writer scan would have reported.
+                let mut winner_index = round_writes.len();
+                if conflicted {
+                    for (i, (winner_seq, earlier)) in round_writes.iter().enumerate() {
+                        stats.exact_scan_words += earlier.words().min(tracked);
+                        if conflicts_with(params.conflict, &effects, earlier) {
+                            let (kind, obj, word) =
+                                locate_conflict(params.conflict, &effects, earlier)
+                                    .expect("overlap test and locate must agree");
+                            conflict = Some(ConflictDetail {
+                                kind,
+                                obj,
+                                word,
+                                winner_seq: *winner_seq,
+                            });
+                            winner_index = i;
+                            break;
+                        }
+                    }
+                    debug_assert!(
+                        conflict.is_some(),
+                        "a conflict with the union names some individual writer"
+                    );
+                }
+                // Trace-visible accounting stays on the legacy per-writer
+                // formula — the words the exact scan *would* have compared,
+                // up to and including the conflicting writer — so event
+                // payloads (and trace hashes) are identical with the fast
+                // path on or off. `words()` is O(1), so this costs nothing.
+                for (_, earlier) in round_writes.iter().take(winner_index + 1) {
+                    validate_words += earlier.words().min(tracked);
+                }
+            } else if !squash {
                 for (winner_seq, earlier) in &round_writes {
                     validate_words += earlier.words().min(tracked);
+                    if params.conflict != ConflictPolicy::None {
+                        stats.exact_scan_words += earlier.words().min(tracked);
+                    }
                     if conflicts_with(params.conflict, &effects, earlier) {
                         let (kind, obj, word) = locate_conflict(params.conflict, &effects, earlier)
                             .expect("overlap test and locate must agree");
@@ -548,6 +667,11 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
                     squashed_by = task.seq;
                 }
                 pending.push_back(task);
+                pool.release(TxBuffers {
+                    overlay: std::mem::take(&mut effects.overlay),
+                    reads: std::mem::take(&mut effects.reads),
+                    writes: std::mem::take(&mut effects.writes),
+                });
             } else {
                 report.committed = true;
                 stats.committed += 1;
@@ -595,12 +719,30 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
                         });
                     }
                 }
-                let writes = effects.writes.clone();
-                heap.apply_commit(build_commit_ops(effects, mode));
+                heap.apply_commit(build_commit_ops(&mut effects, mode));
+                // The committed write set moves into the round log (no
+                // clone — `build_commit_ops` only borrowed it); the rest of
+                // the transaction's buffers go back to the pool, along with
+                // a recycled set to keep the returned buffers complete.
+                let writes = std::mem::replace(&mut effects.writes, pool.acquire_set());
+                merged_writes.union_with(&writes);
                 round_writes.push((task.seq, writes));
+                pool.release(TxBuffers {
+                    overlay: std::mem::take(&mut effects.overlay),
+                    reads: std::mem::take(&mut effects.reads),
+                    writes: std::mem::take(&mut effects.writes),
+                });
             }
             reports.push(report);
         }
+
+        // The round's write log is only meaningful within the round (earlier
+        // rounds are already visible in the next snapshot): recycle its sets
+        // and reset the running union.
+        for (_, set) in round_writes.drain(..) {
+            pool.release_set(set);
+        }
+        merged_writes.clear();
 
         stats.rounds += 1;
         observer.on_round(&RoundReport {
@@ -619,6 +761,7 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
             }
         }
     }
+    stats.pool_reuses = pool.reuses();
     if let Some(rec) = rec {
         rec.record(Event::RunEnd {
             rounds: stats.rounds,
@@ -977,6 +1120,125 @@ mod tests {
         assert_eq!(obs.rounds, stats.rounds);
         assert_eq!(obs.attempts, stats.attempts);
         assert_eq!(obs.committed, stats.committed);
+    }
+
+    /// The fast path and the exact per-writer scan reach identical verdicts
+    /// and identical legacy accounting on a conflict-heavy loop, while the
+    /// fast path does strictly less exact-scan work and exercises the
+    /// fingerprint and pool counters.
+    #[test]
+    fn fast_and_exact_validation_agree() {
+        let run = |fast: bool| {
+            let mut heap = Heap::new();
+            let xs = heap.alloc(ObjData::zeros_i64(64));
+            let shared = heap.alloc(ObjData::scalar_i64(0));
+            let mut reds = RedVars::new();
+            let mut p = params(8, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            p.fast_validation = fast;
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 64),
+                &p,
+                false,
+                &|ctx: &mut TxCtx<'_>, i| {
+                    let s = ctx.tx.read_i64(shared, 0);
+                    ctx.tx.write_i64(xs, i as usize, s + i as i64);
+                    if i % 7 == 0 {
+                        ctx.tx.write_i64(shared, 0, s + 1);
+                    }
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            (heap.digest(), stats)
+        };
+        let (d_fast, s_fast) = run(true);
+        let (d_exact, s_exact) = run(false);
+        assert_eq!(d_fast, d_exact, "committed state must be identical");
+        assert_eq!(s_fast.committed, s_exact.committed);
+        assert_eq!(s_fast.attempts, s_exact.attempts);
+        assert_eq!(s_fast.rounds, s_exact.rounds);
+        assert_eq!(
+            s_fast.validate_words, s_exact.validate_words,
+            "legacy accounting must not depend on the fast path"
+        );
+        assert!(s_fast.retries() > 0, "the loop must actually conflict");
+        assert!(
+            s_fast.fingerprint_hits + s_fast.fingerprint_rejects > 0,
+            "fast path must have pre-checked some validations"
+        );
+        assert_eq!(
+            s_exact.fingerprint_hits + s_exact.fingerprint_rejects,
+            0,
+            "exact mode never consults fingerprints"
+        );
+        assert!(
+            s_fast.pool_reuses > 0,
+            "a multi-round run must recycle buffers"
+        );
+    }
+
+    /// On a conflict-free loop whose tasks touch distinct fingerprint
+    /// blocks, validations are dominated by O(1) rejects: the fast path
+    /// does far less than half the exact-scan work of the per-writer scan
+    /// (the optimization's target regime — low-conflict workloads).
+    #[test]
+    fn disjoint_writes_validate_mostly_by_fingerprint_reject() {
+        // Stride iterations 64 words apart so each task owns its own
+        // 64-word fingerprint blocks.
+        let run = |fast: bool| {
+            let mut heap = Heap::new();
+            let xs = heap.alloc(ObjData::zeros_i64(64 * 64));
+            let mut reds = RedVars::new();
+            let mut p = params(4, 4, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            p.fast_validation = fast;
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 64),
+                &p,
+                false,
+                &|ctx: &mut TxCtx<'_>, i| {
+                    let w = i as usize * 64;
+                    let v = ctx.tx.read_i64(xs, w);
+                    ctx.tx.write_i64(xs, w, v + 1);
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            (heap.digest(), stats)
+        };
+        let (d_fast, s_fast) = run(true);
+        let (d_exact, s_exact) = run(false);
+        assert_eq!(d_fast, d_exact);
+        assert_eq!(s_fast.retries(), 0);
+        assert_eq!(s_exact.retries(), 0);
+        assert!(s_fast.fingerprint_rejects > 0);
+        assert!(
+            s_exact.exact_scan_words > 0,
+            "the per-writer scan pays for every validation"
+        );
+        assert!(
+            s_fast.exact_scan_words * 2 <= s_exact.exact_scan_words,
+            "fast path must at least halve exact-scan work here ({} vs {})",
+            s_fast.exact_scan_words,
+            s_exact.exact_scan_words
+        );
+    }
+
+    /// `avg_rw_words` is well-defined (0.0, not NaN) when nothing ran.
+    #[test]
+    fn avg_rw_words_of_empty_run_is_zero() {
+        let stats = RunStats::default();
+        assert_eq!(stats.avg_rw_words(), 0.0);
+        assert_eq!(stats.retry_rate(), 0.0);
+        let some = RunStats {
+            attempts: 4,
+            tracked_words: 10,
+            ..Default::default()
+        };
+        assert_eq!(some.avg_rw_words(), 2.5);
     }
 
     /// Threaded and sequential drivers produce byte-identical heaps, retry

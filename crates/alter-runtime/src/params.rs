@@ -113,6 +113,12 @@ pub struct ExecParams {
     /// engine also short-circuits on [`Recorder::is_enabled`], so the hot
     /// path pays a single branch either way.
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// Use the layered validation fast path (fingerprint pre-check plus a
+    /// cumulative round write-set) instead of scanning every earlier
+    /// committed writer. Verdicts, committed state, traces and the
+    /// trace-visible cost accounting are identical either way — this knob
+    /// exists for A/B measurement and as a belt-and-braces escape hatch.
+    pub fast_validation: bool,
 }
 
 impl std::fmt::Debug for ExecParams {
@@ -127,6 +133,7 @@ impl std::fmt::Debug for ExecParams {
             .field("budget_words", &self.budget_words)
             .field("work_budget", &self.work_budget)
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
+            .field("fast_validation", &self.fast_validation)
             .finish()
     }
 }
@@ -145,6 +152,7 @@ impl ExecParams {
             budget_words: u64::MAX,
             work_budget: None,
             recorder: None,
+            fast_validation: true,
         }
     }
 
@@ -232,6 +240,13 @@ impl ExecParams {
     /// Builder-style: attach a structured-event recorder.
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builder-style: enable or disable the validation fast path (on by
+    /// default; disabling it is only useful for A/B measurement).
+    pub fn with_fast_validation(mut self, on: bool) -> Self {
+        self.fast_validation = on;
         self
     }
 

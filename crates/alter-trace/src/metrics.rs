@@ -152,6 +152,16 @@ pub struct Metrics {
     pub write_words: Histogram,
     /// Histogram of per-validation compared words (successful validations).
     pub validate_words: Histogram,
+    /// Validations whose fingerprint pre-check fell through to an exact
+    /// scan. Reported by the runtime (not derived from events — the event
+    /// stream is identical with the fast path on or off).
+    pub fingerprint_hits: u64,
+    /// Validations rejected in O(1) by the fingerprint pre-check.
+    pub fingerprint_rejects: u64,
+    /// Transaction buffers served from the recycling pool.
+    pub pool_reuses: u64,
+    /// Words actually compared by exact validation merge-scans.
+    pub exact_scan_words: u64,
 }
 
 impl Metrics {
@@ -198,6 +208,24 @@ impl Metrics {
         }
     }
 
+    /// Merges the runtime's validation fast-path counters into the
+    /// registry. These live outside the event stream on purpose: traces are
+    /// byte-identical with the fast path on or off, so the counters arrive
+    /// through run statistics instead. Plain integers keep this crate free
+    /// of a runtime dependency.
+    pub fn record_validation_counters(
+        &mut self,
+        fingerprint_hits: u64,
+        fingerprint_rejects: u64,
+        pool_reuses: u64,
+        exact_scan_words: u64,
+    ) {
+        self.fingerprint_hits += fingerprint_hits;
+        self.fingerprint_rejects += fingerprint_rejects;
+        self.pool_reuses += pool_reuses;
+        self.exact_scan_words += exact_scan_words;
+    }
+
     /// Fraction of started tasks that did not commit (conflicted, squashed,
     /// or otherwise wasted). 0.0 when no tasks ran.
     pub fn retry_rate(&self) -> f64 {
@@ -228,6 +256,14 @@ impl Metrics {
             self.ooms, self.crashes, self.work_budget_exceeded, self.probes
         );
         let _ = writeln!(out, "  retry_rate={:.4}", self.retry_rate());
+        let _ = writeln!(
+            out,
+            "  fingerprint_hits={} fingerprint_rejects={} pool_reuses={} exact_scan_words={}",
+            self.fingerprint_hits,
+            self.fingerprint_rejects,
+            self.pool_reuses,
+            self.exact_scan_words
+        );
         self.read_words.render_into(&mut out, "read_words");
         self.write_words.render_into(&mut out, "write_words");
         self.validate_words.render_into(&mut out, "validate_words");
@@ -324,5 +360,18 @@ mod tests {
     #[test]
     fn retry_rate_with_no_tasks_is_zero() {
         assert_eq!(Metrics::default().retry_rate(), 0.0);
+    }
+
+    #[test]
+    fn validation_counters_accumulate_and_render() {
+        let mut m = Metrics::default();
+        m.record_validation_counters(3, 7, 11, 640);
+        m.record_validation_counters(1, 1, 1, 10);
+        assert_eq!(m.fingerprint_hits, 4);
+        assert_eq!(m.fingerprint_rejects, 8);
+        assert_eq!(m.pool_reuses, 12);
+        assert_eq!(m.exact_scan_words, 650);
+        assert!(m.render().contains("fingerprint_rejects=8"));
+        assert!(m.render().contains("exact_scan_words=650"));
     }
 }

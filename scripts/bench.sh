@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runtime micro-benchmarks: the primitive-cost benchmarks plus the
+# validation fast-path A/B bench, which regenerates BENCH_runtime.json at
+# the repo root. Everything in the JSON is a deterministic counter (cost
+# units, validate words, exact-scan words, trace hashes) — no wall-clock —
+# so the file is stable across machines and is checked in; a diff after
+# running this script means the runtime's work profile actually changed.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   validation bench only (the deterministic part CI runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+smoke=false
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=true
+fi
+
+if ! $smoke; then
+  echo "== runtime_micro (wall-clock, informational) =="
+  cargo bench -p alter-bench --bench runtime_micro
+  echo
+fi
+
+# cargo runs bench binaries from the package directory, so hand the bench
+# an absolute path.
+echo "== validation fast-path A/B (regenerates BENCH_runtime.json) =="
+cargo bench -p alter-bench --bench validation -- --json "$PWD/BENCH_runtime.json"
+
+echo
+echo "BENCH_runtime.json:"
+cat BENCH_runtime.json

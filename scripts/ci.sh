@@ -18,4 +18,13 @@ cargo build --release
 echo "== test (workspace) =="
 cargo test --workspace --quiet
 
+echo "== bench smoke (validation A/B, deterministic counters) =="
+scripts/bench.sh --smoke
+if ! git diff --quiet -- BENCH_runtime.json; then
+  echo "error: BENCH_runtime.json drifted — the runtime's deterministic"
+  echo "work profile changed; inspect the diff and re-commit if intended."
+  git --no-pager diff -- BENCH_runtime.json
+  exit 1
+fi
+
 echo "tier-1 gate: OK"
