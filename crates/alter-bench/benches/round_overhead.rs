@@ -1,0 +1,229 @@
+//! Microbenchmark of the per-round overhead machinery: for each measured
+//! workload, runs the paper's best configuration at 8 workers under all
+//! four combinations of {incremental, full} snapshots × {persistent pool,
+//! scoped spawn-per-round} threading, asserts the four trace hashes are
+//! identical (both optimizations are forbidden from being observable), and
+//! reports the deterministic snapshot-economics counters side by side.
+//!
+//! Everything asserted and emitted here is deterministic (counters, not
+//! wall-clock), so the JSON summary written by `--json <path>` is stable
+//! across machines and can be checked in (`scripts/bench.sh` merges it
+//! into `BENCH_runtime.json`). Wall-clock timings are printed for
+//! orientation but never enter the JSON.
+//!
+//! The run doubles as an acceptance check: it fails if any config's trace
+//! hash diverges, or if incremental snapshots do not cut
+//! `snapshot_slots_copied` at least 5× on Genome and K-means.
+
+use alter_infer::Probe;
+use alter_runtime::RunStats;
+use alter_trace::{format_hash, trace_hash, Recorder, RingRecorder};
+use alter_workloads::{genome::Genome, kmeans::KMeans, Benchmark, Scale};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker count for the measured runs: wide rounds snapshot once per round
+/// regardless of width, so 8 workers maximizes useful work per snapshot
+/// and matches the validation bench's geometry.
+const WORKERS: usize = 8;
+
+/// One measured workload.
+struct Measured {
+    name: &'static str,
+    annotation: String,
+    chunk: usize,
+    rounds: u64,
+    trace_hash: u64,
+    incremental: RunStats,
+    full: RunStats,
+}
+
+/// Runs `bench` under `probe` with a fresh recorder; returns run stats and
+/// the trace hash.
+fn recorded_run(
+    bench: &dyn Benchmark,
+    probe: &Probe,
+    incremental: bool,
+    worker_pool: bool,
+) -> (RunStats, u64) {
+    let rec = Arc::new(RingRecorder::default());
+    let mut probe = probe.clone();
+    probe.threaded = true;
+    probe.incremental_snapshots = incremental;
+    probe.worker_pool = worker_pool;
+    probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    let run = bench.run_probe(&probe).expect("probe must complete");
+    assert_eq!(rec.dropped(), 0, "ring must hold the whole trace");
+    (run.stats, trace_hash(&rec.events()))
+}
+
+/// Best-of-5 wall time of one recorder-free probe run, in milliseconds.
+fn time_run(bench: &dyn Benchmark, probe: &Probe, incremental: bool, worker_pool: bool) -> f64 {
+    let mut probe = probe.clone();
+    probe.threaded = true;
+    probe.incremental_snapshots = incremental;
+    probe.worker_pool = worker_pool;
+    black_box(bench.run_probe(&probe).expect("warm-up must complete"));
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        black_box(bench.run_probe(&probe).expect("probe must complete"));
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Measures one workload under its best annotation across the four
+/// round-machinery configs.
+fn measure(name: &'static str, bench: &dyn Benchmark) -> Measured {
+    let probe = bench.best_probe(WORKERS);
+    let (incremental, hash_ip) = recorded_run(bench, &probe, true, true);
+    let (full, hash_fp) = recorded_run(bench, &probe, false, true);
+    let (incr_scoped, hash_is) = recorded_run(bench, &probe, true, false);
+    let (full_scoped, hash_fs) = recorded_run(bench, &probe, false, false);
+
+    for (tag, hash) in [
+        ("full+pool", hash_fp),
+        ("incr+scoped", hash_is),
+        ("full+scoped", hash_fs),
+    ] {
+        assert_eq!(
+            hash_ip, hash,
+            "{name}: {tag} changed the trace — the optimization is not allowed to be visible"
+        );
+    }
+    assert_eq!(incremental.committed, full.committed);
+    assert_eq!(incremental.cost_units(), full.cost_units());
+    assert_eq!(incremental.rounds, full.rounds);
+    // Snapshot economics are a property of the heap's dirty pattern, not of
+    // the drive mode; only pool bookkeeping may differ between pool/scoped.
+    assert_eq!(
+        incremental.modulo_drive_mode(),
+        incr_scoped.modulo_drive_mode()
+    );
+    assert_eq!(full.modulo_drive_mode(), full_scoped.modulo_drive_mode());
+    assert_eq!(
+        incremental.pool_round_handoffs, incremental.rounds,
+        "{name}: one pool handoff per round"
+    );
+    assert_eq!(incr_scoped.pool_round_handoffs, 0);
+
+    let ms_full = time_run(bench, &probe, false, false);
+    let ms_incr = time_run(bench, &probe, true, true);
+    println!(
+        "{name:<10} [{}] cf={} N={WORKERS}: snapshot slots {} -> {} over {} rounds \
+         (pages reused {}); {ms_full:.1} ms -> {ms_incr:.1} ms",
+        probe.describe(),
+        probe.chunk,
+        full.snapshot_slots_copied,
+        incremental.snapshot_slots_copied,
+        incremental.rounds,
+        incremental.snapshot_pages_reused,
+    );
+
+    Measured {
+        name,
+        annotation: probe.describe(),
+        chunk: probe.chunk,
+        rounds: incremental.rounds,
+        trace_hash: hash_ip,
+        incremental,
+        full,
+    }
+}
+
+/// Renders the deterministic summary as pretty-printed JSON (hand-rolled;
+/// the workspace builds without `serde`).
+fn to_json(rows: &[Measured]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"workers\": {WORKERS},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let reduction =
+            m.full.snapshot_slots_copied as f64 / m.incremental.snapshot_slots_copied.max(1) as f64;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"annotation\": \"{}\",", m.annotation);
+        let _ = writeln!(out, "      \"chunk\": {},", m.chunk);
+        let _ = writeln!(out, "      \"rounds\": {},", m.rounds);
+        let _ = writeln!(
+            out,
+            "      \"snapshot_slots_copied_full\": {},",
+            m.full.snapshot_slots_copied
+        );
+        let _ = writeln!(
+            out,
+            "      \"snapshot_slots_copied_incremental\": {},",
+            m.incremental.snapshot_slots_copied
+        );
+        let _ = writeln!(
+            out,
+            "      \"snapshot_pages_reused\": {},",
+            m.incremental.snapshot_pages_reused
+        );
+        let _ = writeln!(out, "      \"snapshot_reduction_x\": {reduction:.2},");
+        let _ = writeln!(
+            out,
+            "      \"pool_round_handoffs\": {},",
+            m.incremental.pool_round_handoffs
+        );
+        let _ = writeln!(
+            out,
+            "      \"trace_hash\": \"{}\"",
+            format_hash(m.trace_hash)
+        );
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; nothing to test here.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut json_path = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next().cloned();
+            if json_path.is_none() {
+                eprintln!("error: --json needs a path");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let genome = Genome::new(Scale::Inference);
+    let kmeans = KMeans::new(Scale::Inference);
+    let rows = vec![measure("genome", &genome), measure("k-means", &kmeans)];
+
+    // The headline claim, checked on every run: incremental snapshots must
+    // cut the slots copied per run at least 5× on both workloads.
+    for m in &rows {
+        let reduction =
+            m.full.snapshot_slots_copied as f64 / m.incremental.snapshot_slots_copied.max(1) as f64;
+        assert!(
+            reduction >= 5.0,
+            "{}: snapshot_slots_copied only cut {reduction:.2}x: {} (full) vs {} (incremental)",
+            m.name,
+            m.full.snapshot_slots_copied,
+            m.incremental.snapshot_slots_copied
+        );
+        println!("{} snapshot-copy reduction: {reduction:.1}x", m.name);
+    }
+
+    let json = to_json(&rows);
+    if let Some(path) = json_path {
+        std::fs::write(&path, &json).expect("write JSON summary");
+        println!("wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

@@ -35,6 +35,14 @@ flags:
   --no-fast-validation
                disable the fingerprint validation fast path (A/B runs;
                the trace hash is identical either way)
+  --no-incremental-snapshots
+               re-clone the whole heap every round instead of patching
+               dirty snapshot pages (A/B runs; identical traces)
+  --no-worker-pool
+               spawn fresh threads each round instead of reusing the
+               persistent worker pool (only affects --threaded runs)
+  --threaded   drive rounds with real threads instead of the sequential
+               simulation (identical traces, different wall-clock)
   --list       list workload names and exit";
 
 fn list_workloads() {
@@ -75,16 +83,18 @@ fn parse_model(s: &str) -> Option<Model> {
 }
 
 /// Runs `probe` against `bench` with a fresh ring recorder and returns the
-/// captured events, the run verdict line, and the runtime's validation
-/// fast-path counters `[fingerprint_hits, fingerprint_rejects, pool_reuses,
-/// exact_scan_words]` (zeros when the run aborted). The counters travel
-/// outside the event stream — traces are byte-identical with the fast path
-/// on or off.
-fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 4]) {
+/// captured events, the run verdict line, and the runtime's out-of-band
+/// perf counters: the validation fast-path quartet `[fingerprint_hits,
+/// fingerprint_rejects, pool_reuses, exact_scan_words]` followed by the
+/// round-overhead trio `[snapshot_slots_copied, snapshot_pages_reused,
+/// pool_round_handoffs]` (zeros when the run aborted). The counters travel
+/// outside the event stream — traces are byte-identical whichever fast
+/// paths are enabled.
+fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 7]) {
     let rec = Arc::new(RingRecorder::default());
     let mut probe = probe.clone();
     probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
-    let mut counters = [0u64; 4];
+    let mut counters = [0u64; 7];
     let verdict = match bench.run_probe(&probe) {
         Ok(run) => {
             counters = [
@@ -92,6 +102,9 @@ fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64
                 run.stats.fingerprint_rejects,
                 run.stats.pool_reuses,
                 run.stats.exact_scan_words,
+                run.stats.snapshot_slots_copied,
+                run.stats.snapshot_pages_reused,
+                run.stats.pool_round_handoffs,
             ];
             format!(
                 "run: ok  (retry rate {:.3}, {:.1} sequential-work units)",
@@ -129,6 +142,9 @@ fn main() -> ExitCode {
     let mut jsonl = false;
     let mut twice = false;
     let mut fast_validation = true;
+    let mut incremental_snapshots = true;
+    let mut worker_pool = true;
+    let mut threaded = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,6 +162,9 @@ fn main() -> ExitCode {
             "--jsonl" => jsonl = true,
             "--twice" => twice = true,
             "--no-fast-validation" => fast_validation = false,
+            "--no-incremental-snapshots" => incremental_snapshots = false,
+            "--no-worker-pool" => worker_pool = false,
+            "--threaded" => threaded = true,
             _ if a.starts_with("--") => {
                 eprintln!("error: unknown flag {a}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -182,17 +201,34 @@ fn main() -> ExitCode {
         probe.chunk = chunk;
     }
     probe.fast_validation = fast_validation;
+    probe.incremental_snapshots = incremental_snapshots;
+    probe.worker_pool = worker_pool;
+    probe.threaded = threaded;
 
+    let mut notes = Vec::new();
+    if !fast_validation {
+        notes.push("exact validation");
+    }
+    if !incremental_snapshots {
+        notes.push("full snapshots");
+    }
+    if threaded {
+        notes.push(if worker_pool {
+            "threaded, worker pool"
+        } else {
+            "threaded, scoped spawns"
+        });
+    }
     println!(
         "{} under [{}], {} worker(s), chunk {}{}",
         bench.name(),
         probe.describe(),
         probe.workers,
         probe.chunk,
-        if fast_validation {
-            ""
+        if notes.is_empty() {
+            String::new()
         } else {
-            " (exact validation)"
+            format!(" ({})", notes.join("; "))
         }
     );
     let (events, verdict, counters) = record_run(bench.as_ref(), &probe);
@@ -207,6 +243,7 @@ fn main() -> ExitCode {
     println!();
     let mut metrics = Metrics::from_events(&events);
     metrics.record_validation_counters(counters[0], counters[1], counters[2], counters[3]);
+    metrics.record_round_counters(counters[4], counters[5], counters[6]);
     print!("{}", metrics.render());
     println!();
     let hash = trace_hash(&events);

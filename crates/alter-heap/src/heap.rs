@@ -2,13 +2,69 @@
 //!
 //! The paper's runtime keeps one *committed memory state* plus N process-
 //! private copy-on-write mappings (§4.1, Figure 4). Here the committed state
-//! is a vector of `Arc`'d objects; a [`Snapshot`] is a cheap structural copy
-//! of that vector (every object shared), and transaction privacy comes from
-//! copying an object into a private overlay on first write
-//! ([`crate::Tx`]) — software copy-on-write at allocation granularity.
+//! is a vector of `Arc`'d objects; a [`Snapshot`] is a page-chunked
+//! structural copy of that vector (every object shared), and transaction
+//! privacy comes from copying an object into a private overlay on first
+//! write ([`crate::Tx`]) — software copy-on-write at allocation granularity.
+//!
+//! Snapshots come in two flavours. [`Heap::snapshot`] builds the page table
+//! from scratch (O(slots), one `Arc` clone per slot — the cost this module
+//! existed with for its first two releases). [`Heap::snapshot_incremental`]
+//! instead patches a persistent page table kept inside the heap, guided by a
+//! dirty-slot journal that every mutation path feeds, and is O(slots dirtied
+//! since the previous incremental snapshot) — the analogue of the paper's
+//! runtime re-establishing only the *invalidated* copy-on-write mappings at
+//! a round boundary instead of remapping the whole address space. Both
+//! produce bit-identical snapshot views.
 
 use crate::object::{ObjData, ObjId};
 use std::sync::Arc;
+
+/// Slots per snapshot page. Pages are the unit of structural sharing
+/// between consecutive incremental snapshots: a page none of whose slots
+/// were dirtied since the last snapshot is reused as-is (one `Arc` bump for
+/// the whole page instead of one per slot).
+pub const SNAPSHOT_PAGE_SLOTS: usize = 64;
+
+/// One fixed-size page of a snapshot's slot table. The array is padded
+/// with `None` past the heap's current length, which stays correct across
+/// heap growth because a slot is `None` until its first allocation — and
+/// that allocation lands in the dirty journal.
+#[derive(Clone, Debug)]
+struct PageData {
+    slots: [Option<Arc<ObjData>>; SNAPSHOT_PAGE_SLOTS],
+}
+
+impl PageData {
+    fn empty() -> Self {
+        PageData {
+            slots: [const { None }; SNAPSHOT_PAGE_SLOTS],
+        }
+    }
+
+    fn from_chunk(chunk: &[Option<Arc<ObjData>>]) -> Self {
+        let mut page = PageData::empty();
+        for (dst, src) in page.slots.iter_mut().zip(chunk) {
+            *dst = src.clone();
+        }
+        page
+    }
+}
+
+type Page = Arc<PageData>;
+
+/// Construction cost of one snapshot, reported by
+/// [`Heap::snapshot_incremental`] (the full [`Heap::snapshot`] path costs
+/// `slot_count` copies and reuses nothing, by definition).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Slot entries `Arc`-cloned into the page table: every slot on a full
+    /// (re)build, only journalled slots on the incremental path.
+    pub slots_copied: u64,
+    /// Pages carried over from the previous snapshot untouched — their
+    /// slots were not copied at all.
+    pub pages_reused: u64,
+}
 
 /// The committed memory state.
 ///
@@ -27,6 +83,20 @@ pub struct Heap {
     /// Slots freed by sequential code, reusable by sequential allocation.
     free: Vec<u32>,
     live: usize,
+    /// Total words across live allocations, maintained incrementally
+    /// (payloads are fixed-length, so only alloc/free paths move it).
+    live_words: u64,
+    /// Persistent page table shared with the last incremental snapshot.
+    snap_pages: Vec<Page>,
+    /// Whether `snap_pages` reflects some past snapshot (false until the
+    /// first incremental snapshot, which does a full build).
+    snap_valid: bool,
+    /// Slots mutated since the last incremental snapshot, deduplicated via
+    /// `journaled`. Fed unconditionally by every mutation path — the cost
+    /// is one flag test per touch and the length is bounded by the slot
+    /// count.
+    journal: Vec<u32>,
+    journaled: Vec<bool>,
 }
 
 impl Heap {
@@ -52,10 +122,24 @@ impl Heap {
                 idx
             }
         };
+        self.live_words += data.len() as u64;
         self.slots[idx as usize] = Some(Arc::new(data));
         self.versions[idx as usize] = self.version;
         self.live += 1;
+        self.mark_dirty(idx as usize);
         ObjId(idx)
+    }
+
+    /// Records that `idx` diverged from the last incremental snapshot.
+    #[inline]
+    fn mark_dirty(&mut self, idx: usize) {
+        if idx >= self.journaled.len() {
+            self.journaled.resize(idx + 1, false);
+        }
+        if !self.journaled[idx] {
+            self.journaled[idx] = true;
+            self.journal.push(idx as u32);
+        }
     }
 
     /// Frees an object from sequential code.
@@ -68,9 +152,11 @@ impl Heap {
             .slots
             .get_mut(id.0 as usize)
             .unwrap_or_else(|| panic!("free of unknown {id}"));
-        assert!(slot.take().is_some(), "double free of {id}");
+        let freed = slot.take().unwrap_or_else(|| panic!("double free of {id}"));
+        self.live_words -= freed.len() as u64;
         self.free.push(id.0);
         self.live -= 1;
+        self.mark_dirty(id.0 as usize);
     }
 
     /// Borrows the committed payload of `id`.
@@ -99,6 +185,7 @@ impl Heap {
     /// Panics if `id` is not live.
     pub fn get_mut(&mut self, id: ObjId) -> &mut ObjData {
         self.versions[id.0 as usize] = self.version;
+        self.mark_dirty(id.0 as usize);
         let slot = self
             .slots
             .get_mut(id.0 as usize)
@@ -107,15 +194,86 @@ impl Heap {
         Arc::make_mut(slot)
     }
 
-    /// Takes a consistent snapshot of the committed state.
+    /// Takes a consistent snapshot of the committed state, building the
+    /// page table from scratch.
     ///
-    /// Cost is one `Arc` clone per slot — the analogue of re-establishing the
-    /// copy-on-write mappings at the start of a lock-step round.
+    /// Cost is one `Arc` clone per slot — the analogue of re-establishing
+    /// all N copy-on-write mappings at the start of a lock-step round. The
+    /// engine's hot path uses [`Heap::snapshot_incremental`] instead; this
+    /// entry point stays for one-shot snapshots (dependence detection,
+    /// tests) and as the A/B baseline.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            slots: Arc::from(self.slots.clone().into_boxed_slice()),
+            pages: self
+                .slots
+                .chunks(SNAPSHOT_PAGE_SLOTS)
+                .map(|chunk| Arc::new(PageData::from_chunk(chunk)))
+                .collect(),
+            len: self.slots.len(),
             version: self.version,
         }
+    }
+
+    /// Takes a snapshot bit-identical to [`Heap::snapshot`]'s by patching
+    /// the persistent page table, in O(slots dirtied since the previous
+    /// incremental snapshot).
+    ///
+    /// The first call (and any call after [`Heap::reset_snapshot_cache`])
+    /// falls back to a full build. Clean pages are shared structurally with
+    /// the previous snapshot — one `Arc` bump per page; dirty pages are
+    /// patched slot-by-slot, copy-on-write if the previous snapshot is
+    /// still alive, in place once it has been dropped (the engine's steady
+    /// state, since a round's snapshot dies at the round barrier).
+    pub fn snapshot_incremental(&mut self) -> (Snapshot, SnapshotStats) {
+        let mut stats = SnapshotStats::default();
+        let npages = self.slots.len().div_ceil(SNAPSHOT_PAGE_SLOTS);
+        if self.snap_valid {
+            debug_assert!(self.snap_pages.len() <= npages, "slots never shrink");
+            while self.snap_pages.len() < npages {
+                self.snap_pages.push(Arc::new(PageData::empty()));
+            }
+            let mut page_dirty = vec![false; npages];
+            for i in 0..self.journal.len() {
+                let idx = self.journal[i] as usize;
+                let page_idx = idx / SNAPSHOT_PAGE_SLOTS;
+                page_dirty[page_idx] = true;
+                let page = Arc::make_mut(&mut self.snap_pages[page_idx]);
+                page.slots[idx % SNAPSHOT_PAGE_SLOTS] = self.slots[idx].clone();
+                self.journaled[idx] = false;
+            }
+            stats.slots_copied = self.journal.len() as u64;
+            stats.pages_reused = page_dirty.iter().filter(|d| !**d).count() as u64;
+            self.journal.clear();
+        } else {
+            self.snap_pages.clear();
+            self.snap_pages.extend(
+                self.slots
+                    .chunks(SNAPSHOT_PAGE_SLOTS)
+                    .map(|chunk| Arc::new(PageData::from_chunk(chunk))),
+            );
+            stats.slots_copied = self.slots.len() as u64;
+            for i in 0..self.journal.len() {
+                let idx = self.journal[i] as usize;
+                self.journaled[idx] = false;
+            }
+            self.journal.clear();
+            self.snap_valid = true;
+        }
+        let snap = Snapshot {
+            pages: self.snap_pages.iter().cloned().collect(),
+            len: self.slots.len(),
+            version: self.version,
+        };
+        (snap, stats)
+    }
+
+    /// Drops the persistent page table; the next
+    /// [`Heap::snapshot_incremental`] does a full build. Only useful to
+    /// release memory between unrelated parallel phases.
+    pub fn reset_snapshot_cache(&mut self) {
+        self.snap_pages.clear();
+        self.snap_pages.shrink_to_fit();
+        self.snap_valid = false;
     }
 
     /// Current global commit version.
@@ -134,9 +292,19 @@ impl Heap {
     }
 
     /// Total words across live allocations (used by the simulator's
-    /// bandwidth model and by memory-budget accounting).
+    /// bandwidth model and by memory-budget accounting). O(1): payloads
+    /// are fixed-length, so the counter moves only on alloc and free.
     pub fn live_words(&self) -> u64 {
-        self.slots.iter().flatten().map(|o| o.len() as u64).sum()
+        debug_assert_eq!(
+            self.live_words,
+            self.slots
+                .iter()
+                .flatten()
+                .map(|o| o.len() as u64)
+                .sum::<u64>(),
+            "live-words counter diverged from the sweep"
+        );
+        self.live_words
     }
 
     /// First id that has never been allocated; parallel id reservations
@@ -163,6 +331,7 @@ impl Heap {
         for (id, lo, hi, src) in ops.writes {
             let slot_idx = id.0 as usize;
             self.versions[slot_idx] = self.version;
+            self.mark_dirty(slot_idx);
             let slot = self.slots[slot_idx]
                 .as_mut()
                 .unwrap_or_else(|| panic!("commit write to dead {id}"));
@@ -183,16 +352,20 @@ impl Heap {
                 self.slots[idx].is_none(),
                 "allocator invariant violated: {id} already live at commit"
             );
+            self.live_words += data.len() as u64;
             self.slots[idx] = Some(data);
             self.versions[idx] = self.version;
             self.live += 1;
+            self.mark_dirty(idx);
         }
         for id in ops.frees {
             let slot = self.slots[id.0 as usize]
                 .take()
                 .unwrap_or_else(|| panic!("commit free of dead {id}"));
+            self.live_words -= slot.len() as u64;
             drop(slot);
             self.live -= 1;
+            self.mark_dirty(id.0 as usize);
             // Freed parallel slots are not recycled: the paper's allocator
             // also leaves holes rather than risk cross-process reuse races.
         }
@@ -232,10 +405,14 @@ impl Heap {
 /// A consistent, immutable view of the committed state at some version.
 ///
 /// Cloning a snapshot is O(1); all transactions of one lock-step round share
-/// one snapshot.
+/// one snapshot. The slot table is chunked into fixed-size pages
+/// ([`SNAPSHOT_PAGE_SLOTS`]) so consecutive incremental snapshots can share
+/// clean pages structurally; page padding past [`Snapshot::slot_count`] is
+/// always `None`, so lookups need no length check.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
-    slots: Arc<[Option<Arc<ObjData>>]>,
+    pages: Arc<[Page]>,
+    len: usize,
     version: u64,
 }
 
@@ -244,12 +421,18 @@ impl Snapshot {
     /// object was dead (or not yet allocated) at snapshot time.
     #[inline]
     pub fn get(&self, id: ObjId) -> Option<&ObjData> {
-        self.slots.get(id.0 as usize).and_then(|s| s.as_deref())
+        let idx = id.0 as usize;
+        self.pages
+            .get(idx / SNAPSHOT_PAGE_SLOTS)
+            .and_then(|p| p.slots[idx % SNAPSHOT_PAGE_SLOTS].as_deref())
     }
 
     /// Shares the payload `Arc` of `id`, for zero-copy reads.
     pub fn get_arc(&self, id: ObjId) -> Option<Arc<ObjData>> {
-        self.slots.get(id.0 as usize).and_then(|s| s.clone())
+        let idx = id.0 as usize;
+        self.pages
+            .get(idx / SNAPSHOT_PAGE_SLOTS)
+            .and_then(|p| p.slots[idx % SNAPSHOT_PAGE_SLOTS].clone())
     }
 
     /// The commit version this snapshot was taken at.
@@ -259,7 +442,7 @@ impl Snapshot {
 
     /// Number of slots (live or dead) visible to the snapshot.
     pub fn slot_count(&self) -> usize {
-        self.slots.len()
+        self.len
     }
 }
 
@@ -410,5 +593,116 @@ mod tests {
         assert_eq!(h.live_words(), 15);
         h.free(b);
         assert_eq!(h.live_words(), 10);
+    }
+
+    #[test]
+    fn live_words_tracks_commit_allocs_and_frees() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::zeros_f64(4));
+        h.apply_commit(CommitOps {
+            writes: vec![(a, 0, 4, Arc::new(ObjData::zeros_f64(4)))],
+            allocs: vec![(ObjId::from_index(7), Arc::new(ObjData::zeros_i64(3)))],
+            ..Default::default()
+        });
+        assert_eq!(h.live_words(), 7);
+        h.apply_commit(CommitOps {
+            frees: vec![a],
+            ..Default::default()
+        });
+        assert_eq!(h.live_words(), 3);
+    }
+
+    /// Asserts `snap` is exactly the view [`Heap::snapshot`] would produce.
+    fn assert_snap_matches(snap: &Snapshot, h: &Heap) {
+        assert_eq!(snap.slot_count(), h.high_water() as usize);
+        assert_eq!(snap.version(), h.version());
+        for i in 0..h.high_water() + SNAPSHOT_PAGE_SLOTS as u32 {
+            let id = ObjId::from_index(i);
+            let expect = if h.is_live(id) { Some(h.get(id)) } else { None };
+            assert_eq!(snap.get(id), expect, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_snapshot_matches_full_snapshot() {
+        let mut h = Heap::new();
+        let mut ids = Vec::new();
+        // Span several pages (the mutations below leave page 3 untouched).
+        for i in 0..SNAPSHOT_PAGE_SLOTS * 4 {
+            ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+        }
+        let (s0, st0) = h.snapshot_incremental();
+        assert_eq!(
+            st0.slots_copied,
+            h.high_water() as u64,
+            "first use: full build"
+        );
+        assert_snap_matches(&s0, &h);
+        drop(s0);
+
+        // Dirty a handful of slots through every mutation path.
+        h.get_mut(ids[3]).i64s_mut()[0] = -3;
+        h.free(ids[70]);
+        let reused = h.alloc(ObjData::scalar_f64(0.5)); // reuses slot 70
+        assert_eq!(reused.index(), 70);
+        h.apply_commit(CommitOps {
+            writes: vec![(ids[130], 0, 1, Arc::new(ObjData::scalar_i64(-130)))],
+            allocs: vec![(
+                ObjId::from_index(h.high_water()),
+                Arc::new(ObjData::zeros_f64(2)),
+            )],
+            frees: vec![ids[131]],
+        });
+
+        let (s1, st1) = h.snapshot_incremental();
+        assert_snap_matches(&s1, &h);
+        assert_eq!(st1.slots_copied, 5, "3, 70, 130, 131 and the new slot");
+        assert!(st1.pages_reused >= 1, "untouched pages must be reused");
+
+        // A clean snapshot copies nothing and reuses every page.
+        let (s2, st2) = h.snapshot_incremental();
+        assert_snap_matches(&s2, &h);
+        assert_eq!(st2.slots_copied, 0);
+        assert_eq!(st2.pages_reused, s2.pages.len() as u64);
+    }
+
+    #[test]
+    fn incremental_snapshot_is_isolated_while_previous_lives() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::scalar_i64(1));
+        let (s1, _) = h.snapshot_incremental();
+        h.get_mut(a).i64s_mut()[0] = 2;
+        // s1 is still alive: the dirty page must be patched copy-on-write.
+        let (s2, _) = h.snapshot_incremental();
+        assert_eq!(s1.get(a).unwrap().i64s()[0], 1);
+        assert_eq!(s2.get(a).unwrap().i64s()[0], 2);
+    }
+
+    #[test]
+    fn incremental_snapshot_grows_across_page_boundaries() {
+        let mut h = Heap::new();
+        let (s0, _) = h.snapshot_incremental();
+        assert_eq!(s0.slot_count(), 0);
+        let mut ids = Vec::new();
+        for i in 0..SNAPSHOT_PAGE_SLOTS + 3 {
+            ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+        }
+        let (s1, st1) = h.snapshot_incremental();
+        assert_snap_matches(&s1, &h);
+        assert_eq!(st1.slots_copied, (SNAPSHOT_PAGE_SLOTS + 3) as u64);
+        assert!(s1.get(ids[SNAPSHOT_PAGE_SLOTS]).is_some());
+        // Growth did not leak into the earlier snapshot's view.
+        assert_eq!(s0.slot_count(), 0);
+    }
+
+    #[test]
+    fn reset_snapshot_cache_forces_full_rebuild() {
+        let mut h = Heap::new();
+        let a = h.alloc(ObjData::scalar_i64(1));
+        let _ = h.snapshot_incremental();
+        h.reset_snapshot_cache();
+        let (s, st) = h.snapshot_incremental();
+        assert_eq!(st.slots_copied, 1);
+        assert_eq!(s.get(a).unwrap().i64s()[0], 1);
     }
 }

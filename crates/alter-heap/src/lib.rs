@@ -46,7 +46,7 @@ mod sets;
 mod tx;
 
 pub use alloc::{IdReservation, DEFAULT_BLOCK_SIZE};
-pub use heap::{CommitOps, Heap, Snapshot};
+pub use heap::{CommitOps, Heap, Snapshot, SnapshotStats, SNAPSHOT_PAGE_SLOTS};
 pub use object::{ObjData, ObjId, ObjKind};
 pub use pool::{TxBufferPool, TxBuffers};
 pub use sets::{AccessSet, Fingerprint, RangeSet};

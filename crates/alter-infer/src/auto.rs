@@ -54,7 +54,7 @@ impl ChosenConfig {
 /// squashing). Reductions are taken from the search only when the bare
 /// policy failed, and `+`/idempotent operators are preferred over `×`
 /// (whose merge is the least robust, §4.2).
-pub fn auto_parallelize(target: &dyn InferTarget, cfg: &InferConfig) -> AutoDecision {
+pub fn auto_parallelize(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> AutoDecision {
     let report = infer(target, cfg);
 
     let mut pick: Option<(Model, Option<(String, RedOp)>)> = None;

@@ -8,7 +8,7 @@
 
 use crate::outcome::Outcome;
 use crate::target::{InferTarget, Model, Probe, ProgramOutput};
-use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError};
+use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError, WorkerPool};
 use alter_trace::{Event, Recorder};
 use std::sync::Arc;
 
@@ -32,6 +32,12 @@ pub struct InferConfig {
     /// same recorder, so a trace shows each candidate annotation followed
     /// by exactly what its execution did.
     pub recorder: Option<Arc<dyn Recorder>>,
+    /// Run independent probes concurrently through a [`WorkerPool`] (on by
+    /// default). Each probe owns its heap and its seeded inputs, so the
+    /// report is identical to the serial schedule; probing falls back to
+    /// serial automatically while a recorder is enabled, because the probes'
+    /// event streams would otherwise interleave.
+    pub concurrent_probes: bool,
 }
 
 impl std::fmt::Debug for InferConfig {
@@ -43,6 +49,7 @@ impl std::fmt::Debug for InferConfig {
             .field("high_conflict_threshold", &self.high_conflict_threshold)
             .field("budget_words", &self.budget_words)
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
+            .field("concurrent_probes", &self.concurrent_probes)
             .finish()
     }
 }
@@ -56,12 +63,13 @@ impl Default for InferConfig {
             high_conflict_threshold: 0.5,
             budget_words: 1 << 22, // 4M words = 32 MiB of tracked state
             recorder: None,
+            concurrent_probes: true,
         }
     }
 }
 
 /// Result of probing one reduction candidate.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ReductionResult {
     /// Model the reduction was combined with.
     pub model: Model,
@@ -74,7 +82,7 @@ pub struct ReductionResult {
 }
 
 /// The complete inference result for one benchmark — one row of Table 3.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InferReport {
     /// Benchmark name.
     pub name: String,
@@ -185,11 +193,45 @@ fn sequential_cost(target: &dyn InferTarget, cfg: &InferConfig) -> u64 {
     }
 }
 
+/// Runs a batch of independent probes and returns their outcomes in probe
+/// order. Serial when so configured, when the batch is trivial, or when a
+/// recorder is enabled (each probe's engine run writes to the shared
+/// recorder, and concurrency would interleave the event streams);
+/// otherwise the probes are handed to a [`WorkerPool`] in rounds, job *i*
+/// on worker *i*, so the outcome vector — and everything derived from it —
+/// is byte-identical to the serial schedule.
+fn run_probes(
+    target: &(dyn InferTarget + Sync),
+    reference: &ProgramOutput,
+    probes: &[Probe],
+    cfg: &InferConfig,
+) -> Vec<Outcome> {
+    let serial = !cfg.concurrent_probes
+        || probes.len() <= 1
+        || cfg.recorder.as_deref().is_some_and(|r| r.is_enabled());
+    if serial {
+        return probes
+            .iter()
+            .map(|p| probe_outcome(target, reference, p, cfg))
+            .collect();
+    }
+    let run_one = |_worker: usize, idx: usize| probe_outcome(target, reference, &probes[idx], cfg);
+    std::thread::scope(|scope| {
+        let mut pool = WorkerPool::new(scope, cfg.workers, &run_one);
+        let indices: Vec<usize> = (0..probes.len()).collect();
+        let mut outcomes = Vec::with_capacity(probes.len());
+        for round in indices.chunks(pool.workers()) {
+            outcomes.extend(pool.run_round(round.to_vec()));
+        }
+        outcomes
+    })
+}
+
 /// Runs the full inference algorithm on one target: dependence check, the
 /// three Table 3 models, and — if no policy-only annotation succeeds — the
 /// bounded reduction search over the target's candidate variables and the
 /// six operators.
-pub fn infer(target: &dyn InferTarget, cfg: &InferConfig) -> InferReport {
+pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferReport {
     let reference = target.run_sequential();
     let seq_cost = sequential_cost(target, cfg);
     // Hard safety net: a parallel run re-executes at most `workers`× the
@@ -200,30 +242,29 @@ pub fn infer(target: &dyn InferTarget, cfg: &InferConfig) -> InferReport {
     let dep = target.probe_dependences();
 
     let budget_words = target.tracked_budget_words().unwrap_or(cfg.budget_words);
-    let run_model = |model: Model, reduction: Option<(String, RedOp)>| {
+    let make_probe = |model: Model, reduction: Option<(String, RedOp)>| {
         let mut probe = Probe::new(model, cfg.workers, cfg.chunk);
         probe.reduction = reduction;
         probe.budget_words = budget_words;
         probe.work_budget = Some(work_budget);
         probe.recorder = cfg.recorder.clone();
-        (
-            probe.describe(),
-            probe_outcome(target, &reference, &probe, cfg),
-        )
+        probe
     };
 
-    let (tls_desc, tls) = run_model(Model::Tls, None);
-    let (ooo_desc, out_of_order) = run_model(Model::OutOfOrder, None);
-    let (stale_desc, stale_reads) = run_model(Model::StaleReads, None);
+    let model_probes = [
+        make_probe(Model::Tls, None),
+        make_probe(Model::OutOfOrder, None),
+        make_probe(Model::StaleReads, None),
+    ];
+    let mut model_outcomes = run_probes(target, &reference, &model_probes, cfg).into_iter();
+    let tls = model_outcomes.next().expect("three model probes");
+    let out_of_order = model_outcomes.next().expect("three model probes");
+    let stale_reads = model_outcomes.next().expect("three model probes");
 
     let mut valid_annotations = Vec::new();
-    for (desc, outcome) in [
-        (tls_desc, &tls),
-        (ooo_desc, &out_of_order),
-        (stale_desc, &stale_reads),
-    ] {
+    for (probe, outcome) in model_probes.iter().zip([&tls, &out_of_order, &stale_reads]) {
         if outcome.is_success() {
-            valid_annotations.push(format!("[{desc}]"));
+            valid_annotations.push(format!("[{}]", probe.describe()));
         }
     }
 
@@ -231,21 +272,29 @@ pub fn infer(target: &dyn InferTarget, cfg: &InferConfig) -> InferReport {
     // annotations of the form (P, ε) are valid" (§5).
     let mut reductions = Vec::new();
     if !out_of_order.is_success() && !stale_reads.is_success() {
+        let mut red_probes = Vec::new();
+        let mut red_meta = Vec::new();
         for var in target.reduction_candidates() {
             for op in RedOp::ALL {
                 for model in [Model::OutOfOrder, Model::StaleReads] {
-                    let (desc, outcome) = run_model(model, Some((var.clone(), op)));
-                    if outcome.is_success() {
-                        valid_annotations.push(format!("[{desc}]"));
-                    }
-                    reductions.push(ReductionResult {
-                        model,
-                        var: var.clone(),
-                        op,
-                        outcome,
-                    });
+                    red_probes.push(make_probe(model, Some((var.clone(), op))));
+                    red_meta.push((model, var.clone(), op));
                 }
             }
+        }
+        let outcomes = run_probes(target, &reference, &red_probes, cfg);
+        for (((model, var, op), probe), outcome) in
+            red_meta.into_iter().zip(&red_probes).zip(outcomes)
+        {
+            if outcome.is_success() {
+                valid_annotations.push(format!("[{}]", probe.describe()));
+            }
+            reductions.push(ReductionResult {
+                model,
+                var,
+                op,
+                outcome,
+            });
         }
     }
 

@@ -280,6 +280,28 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_concurrent_probes_yield_identical_reports() {
+        // SumToy exercises the full pipeline: three model probes plus the
+        // bounded reduction search (2 models × 6 operators).
+        let serial = infer(
+            &SumToy,
+            &InferConfig {
+                concurrent_probes: false,
+                ..Default::default()
+            },
+        );
+        let concurrent = infer(
+            &SumToy,
+            &InferConfig {
+                concurrent_probes: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial, concurrent);
+        assert!(!concurrent.reductions.is_empty(), "search actually ran");
+    }
+
+    #[test]
     fn chunk_tuning_prefers_larger_chunks_for_cheap_bodies() {
         let tuning = tune_chunk(&DoallToy, Model::StaleReads, None, 4);
         assert!(tuning.curve.len() >= 2);

@@ -79,6 +79,19 @@ pub struct Probe {
     /// Whether the engine may use the validation fast path (on by default;
     /// off only for A/B measurement — verdicts and traces are identical).
     pub fast_validation: bool,
+    /// Whether the target should drive the loop with real threads
+    /// ([`alter_runtime::Driver::threaded`]) instead of the sequential
+    /// simulation of the workers. Either driver yields byte-identical
+    /// traces; threading only changes wall-clock time.
+    pub threaded: bool,
+    /// Whether a threaded run reuses the persistent
+    /// [`alter_runtime::WorkerPool`] (on by default; off falls back to a
+    /// spawn-per-round scope, for A/B measurement only).
+    pub worker_pool: bool,
+    /// Whether the engine may reuse unchanged snapshot pages between rounds
+    /// (on by default; off re-clones the whole heap each round, for A/B
+    /// measurement only — traces are identical either way).
+    pub incremental_snapshots: bool,
 }
 
 impl std::fmt::Debug for Probe {
@@ -92,6 +105,9 @@ impl std::fmt::Debug for Probe {
             .field("work_budget", &self.work_budget)
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
             .field("fast_validation", &self.fast_validation)
+            .field("threaded", &self.threaded)
+            .field("worker_pool", &self.worker_pool)
+            .field("incremental_snapshots", &self.incremental_snapshots)
             .finish()
     }
 }
@@ -109,6 +125,21 @@ impl Probe {
             work_budget: None,
             recorder: None,
             fast_validation: true,
+            threaded: false,
+            worker_pool: true,
+            incremental_snapshots: true,
+        }
+    }
+
+    /// The loop driver this probe asks for: threaded when [`Probe::threaded`]
+    /// is set, the sequential round simulation otherwise. Targets should
+    /// pass this to [`alter_runtime::LoopBuilder::run`] instead of
+    /// hard-coding a driver.
+    pub fn driver(&self) -> alter_runtime::Driver {
+        if self.threaded {
+            alter_runtime::Driver::threaded()
+        } else {
+            alter_runtime::Driver::sequential()
         }
     }
 
@@ -126,6 +157,8 @@ impl Probe {
         p.work_budget = self.work_budget;
         p.recorder = self.recorder.clone();
         p.fast_validation = self.fast_validation;
+        p.worker_pool = self.worker_pool;
+        p.incremental_snapshots = self.incremental_snapshots;
         if let Some((name, op)) = &self.reduction {
             let var = reds
                 .lookup(name)

@@ -24,11 +24,12 @@
 
 use crate::body::{LoopBody, TxCtx};
 use crate::params::{CommitOrder, ConflictPolicy, ExecParams};
+use crate::pool::WorkerPool;
 use crate::reduction::{RedDelta, RedLocals, RedVars};
 use crate::space::IterSpace;
 use alter_heap::{
-    AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, ObjId, Snapshot, TrackMode, Tx,
-    TxBufferPool, TxBuffers, TxEffects, TxStats,
+    AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, ObjId, Snapshot, SnapshotStats,
+    TrackMode, Tx, TxBufferPool, TxBuffers, TxEffects, TxStats,
 };
 use alter_trace::{ConflictKind, Event, Recorder};
 use std::collections::VecDeque;
@@ -115,6 +116,21 @@ pub struct RunStats {
     /// fast path on, fingerprint rejects and the cumulative round
     /// write-set shrink this far below [`RunStats::validate_words`].
     pub exact_scan_words: u64,
+    /// Slot entries `Arc`-cloned while establishing round snapshots. With
+    /// [`ExecParams::incremental_snapshots`] on, only slots dirtied since
+    /// the previous round are copied (plus the first round's full build);
+    /// with it off every round pays the whole slot table. Trace-visible
+    /// snapshot accounting (`RoundStart.snapshot_slots`, the simulator's
+    /// per-slot charge) stays on the full-table figure either way.
+    pub snapshot_slots_copied: u64,
+    /// Snapshot pages carried over untouched from the previous round's
+    /// snapshot (incremental snapshots only — the structural-sharing win).
+    pub snapshot_pages_reused: u64,
+    /// Rounds whose tasks were handed to the persistent [`crate::WorkerPool`].
+    /// The **only** `RunStats` field that depends on the drive mode (it is
+    /// zero under the sequential and per-round-scope drivers); comparisons
+    /// across drivers must mask it out.
+    pub pool_round_handoffs: u64,
 }
 
 impl RunStats {
@@ -164,6 +180,20 @@ impl RunStats {
         self.fingerprint_rejects += other.fingerprint_rejects;
         self.pool_reuses += other.pool_reuses;
         self.exact_scan_words += other.exact_scan_words;
+        self.snapshot_slots_copied += other.snapshot_slots_copied;
+        self.snapshot_pages_reused += other.snapshot_pages_reused;
+        self.pool_round_handoffs += other.pool_round_handoffs;
+    }
+
+    /// These statistics with [`RunStats::pool_round_handoffs`] — the one
+    /// drive-mode-dependent counter — masked to zero: the quantity the
+    /// determinism guarantee promises is identical across the sequential,
+    /// per-round-scope and persistent-pool drivers.
+    pub fn modulo_drive_mode(&self) -> RunStats {
+        RunStats {
+            pool_round_handoffs: 0,
+            ..*self
+        }
     }
 }
 
@@ -299,20 +329,34 @@ fn run_one_task<B: LoopBody + ?Sized>(
     })
 }
 
+/// One round's worth of work shipped to a persistent pool worker. The
+/// snapshot and reduction registry ride along as cheap shared handles;
+/// everything else is owned by exactly one worker for the round.
+struct PoolJob {
+    snap: Snapshot,
+    task: PendingTask,
+    bufs: TxBuffers,
+    base: u32,
+    reds: Arc<RedVars>,
+}
+
+/// Executes one round on the calling thread or on a fresh per-round
+/// `thread::scope` — the pre-pool drive modes, kept as the A/B baseline
+/// (`ExecParams::worker_pool = false`) and for the sequential driver.
 #[allow(clippy::too_many_arguments)]
-fn execute_round<B: LoopBody>(
+fn execute_round_scoped<B: LoopBody>(
     threaded: bool,
     snap: &Snapshot,
-    tasks: &[PendingTask],
+    tasks: Vec<PendingTask>,
     bufs: Vec<TxBuffers>,
     base: u32,
     params: &ExecParams,
     reds: &RedVars,
     mode: TrackMode,
     body: &B,
-) -> Vec<TaskOutcome> {
+) -> Vec<(PendingTask, TaskOutcome)> {
     debug_assert_eq!(tasks.len(), bufs.len());
-    if threaded && tasks.len() > 1 {
+    let outcomes: Vec<TaskOutcome> = if threaded && tasks.len() > 1 {
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .iter()
@@ -338,7 +382,8 @@ fn execute_round<B: LoopBody>(
                 run_one_task(snap, task, buf, worker, base, params, reds, mode, body)
             })
             .collect()
-    }
+    };
+    tasks.into_iter().zip(outcomes).collect()
 }
 
 fn conflicts_with(policy: ConflictPolicy, effects: &TxEffects, earlier_writes: &AccessSet) -> bool {
@@ -434,6 +479,12 @@ pub(crate) fn build_commit_ops(effects: &mut TxEffects, mode: TrackMode) -> Comm
 
 /// Runs an annotated loop to completion. This is the engine entry point;
 /// prefer the [`crate::run_loop`] / [`crate::LoopBuilder`] wrappers.
+///
+/// This function only picks the drive mode; the round loop itself lives in
+/// [`run_rounds`], parameterized by a round-execution callback so the same
+/// (deterministic) scheduling, validation and commit code runs whether a
+/// round's tasks execute inline, on a per-round `thread::scope`, or on the
+/// persistent [`WorkerPool`] spanning the whole run.
 pub(crate) fn run_loop_engine<B: LoopBody>(
     heap: &mut Heap,
     reds: &mut RedVars,
@@ -444,6 +495,88 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
     observer: &mut dyn RoundObserver,
 ) -> Result<RunStats, RunError> {
     assert!(params.workers >= 1, "need at least one worker");
+    let mode = params.conflict.track_mode();
+    if threaded && params.worker_pool && params.workers > 1 {
+        // Persistent pool: one thread::scope for the whole run; workers
+        // outlive every round and receive per-round jobs over channels.
+        // The per-round reduction registry is cloned into the job batch
+        // (workers only read it; merges happen on this thread, between
+        // rounds) — one small clone per round, same values every driver.
+        let worker_fn = |worker: usize, job: PoolJob| {
+            let outcome = run_one_task(
+                &job.snap, &job.task, job.bufs, worker, job.base, params, &job.reds, mode, body,
+            );
+            (job.task, outcome)
+        };
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::new(scope, params.workers, &worker_fn);
+            // Inner block: `exec` mutably borrows the pool and must die
+            // before the handoff counter can be read back.
+            let mut result = {
+                let mut exec = |snap: &Snapshot,
+                                tasks: Vec<PendingTask>,
+                                bufs: Vec<TxBuffers>,
+                                base: u32,
+                                reds: &RedVars| {
+                    let reds = Arc::new(reds.clone());
+                    let jobs = tasks
+                        .into_iter()
+                        .zip(bufs)
+                        .map(|(task, bufs)| PoolJob {
+                            snap: snap.clone(),
+                            task,
+                            bufs,
+                            base,
+                            reds: Arc::clone(&reds),
+                        })
+                        .collect();
+                    pool.run_round(jobs)
+                };
+                run_rounds(heap, reds, space, params, &mut exec, observer)
+            };
+            if let Ok(stats) = &mut result {
+                stats.pool_round_handoffs = pool.round_handoffs();
+            }
+            result
+            // The pool drops here, closing the job channels, so the scope's
+            // implicit join finds every worker already draining out.
+        })
+    } else {
+        let mut exec = |snap: &Snapshot,
+                        tasks: Vec<PendingTask>,
+                        bufs: Vec<TxBuffers>,
+                        base: u32,
+                        reds: &RedVars| {
+            execute_round_scoped(threaded, snap, tasks, bufs, base, params, reds, mode, body)
+        };
+        run_rounds(heap, reds, space, params, &mut exec, observer)
+    }
+}
+
+/// Per-round execution callback of [`run_rounds`]: given the round's
+/// snapshot, tasks, lent buffers, base worker index, and reduction
+/// registry, runs every task and returns `(task, outcome)` pairs in task
+/// order.
+type RoundExec<'a> = dyn FnMut(
+        &Snapshot,
+        Vec<PendingTask>,
+        Vec<TxBuffers>,
+        u32,
+        &RedVars,
+    ) -> Vec<(PendingTask, TaskOutcome)>
+    + 'a;
+
+/// The round loop: schedule, snapshot, execute (via `exec`), validate,
+/// commit, observe — everything about a run that is independent of how a
+/// round's tasks are driven.
+fn run_rounds(
+    heap: &mut Heap,
+    reds: &mut RedVars,
+    space: &mut dyn IterSpace,
+    params: &ExecParams,
+    exec: &mut RoundExec<'_>,
+    observer: &mut dyn RoundObserver,
+) -> Result<RunStats, RunError> {
     let mode = params.conflict.track_mode();
     // Resolve the recorder once: `None` here means every emission site below
     // is one predicted-not-taken branch and constructs nothing.
@@ -486,7 +619,21 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
             break;
         }
 
-        let snap = heap.snapshot();
+        // Establish the round snapshot. Incrementally patching the heap's
+        // persistent page table yields a bit-identical view; only the
+        // construction-cost counters can tell the two paths apart.
+        let (snap, snap_stats) = if params.incremental_snapshots {
+            heap.snapshot_incremental()
+        } else {
+            let snap = heap.snapshot();
+            let full = SnapshotStats {
+                slots_copied: snap.slot_count() as u64,
+                pages_reused: 0,
+            };
+            (snap, full)
+        };
+        stats.snapshot_slots_copied += snap_stats.slots_copied;
+        stats.snapshot_pages_reused += snap_stats.pages_reused;
         let base = heap.high_water();
         if let Some(rec) = rec {
             rec.record(Event::RoundStart {
@@ -503,9 +650,7 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
             }
         }
         let bufs: Vec<TxBuffers> = tasks.iter().map(|_| pool.acquire()).collect();
-        let outcomes = execute_round(
-            threaded, &snap, &tasks, bufs, base, params, reds, mode, body,
-        );
+        let results = exec(&snap, tasks, bufs, base, reds);
 
         // Validate and commit in deterministic task order. Each committed
         // write set is remembered with its owner's sequence number so a
@@ -513,7 +658,7 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
         let mut squash = false;
         let mut squashed_by: u64 = 0;
         reports.clear();
-        for (worker, (task, outcome)) in tasks.into_iter().zip(outcomes).enumerate() {
+        for (worker, (task, outcome)) in results.into_iter().enumerate() {
             let (mut effects, deltas) = match outcome {
                 Ok(v) => v,
                 Err(TaskPanic::Oom(me)) => {
@@ -1241,16 +1386,20 @@ mod tests {
         assert_eq!(some.avg_rw_words(), 2.5);
     }
 
-    /// Threaded and sequential drivers produce byte-identical heaps, retry
-    /// schedules and statistics — the determinism guarantee.
+    /// All three drive modes — sequential, per-round scope, persistent
+    /// pool — produce byte-identical heaps, retry schedules and statistics
+    /// (modulo the pool-handoff counter, which *names* the drive mode), in
+    /// both snapshot modes: the determinism guarantee.
     #[test]
     fn threaded_and_sequential_drivers_are_identical() {
-        let run = |threaded: bool| {
+        let run = |threaded: bool, worker_pool: bool, incremental: bool| {
             let mut heap = Heap::new();
             let xs = heap.alloc(ObjData::zeros_i64(32));
             let shared = heap.alloc(ObjData::scalar_i64(0));
             let mut reds = RedVars::new();
-            let p = params(4, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            let mut p = params(4, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            p.worker_pool = worker_pool;
+            p.incremental_snapshots = incremental;
             let stats = run_loop_engine(
                 &mut heap,
                 &mut reds,
@@ -1269,9 +1418,76 @@ mod tests {
             .unwrap();
             (heap.digest(), stats)
         };
-        let (d_seq, s_seq) = run(false);
-        let (d_thr, s_thr) = run(true);
-        assert_eq!(d_seq, d_thr, "committed state must be identical");
-        assert_eq!(s_seq, s_thr, "statistics must be identical");
+        for incremental in [false, true] {
+            let (d_seq, s_seq) = run(false, false, incremental);
+            let (d_thr, s_thr) = run(true, false, incremental);
+            let (d_pool, s_pool) = run(true, true, incremental);
+            assert_eq!(d_seq, d_thr, "scoped: committed state must be identical");
+            assert_eq!(d_seq, d_pool, "pooled: committed state must be identical");
+            assert_eq!(s_seq, s_thr, "scoped: statistics must be identical");
+            assert_eq!(
+                s_seq.modulo_drive_mode(),
+                s_pool.modulo_drive_mode(),
+                "pooled: statistics must be identical modulo handoffs"
+            );
+            assert_eq!(s_seq.pool_round_handoffs, 0);
+            assert_eq!(
+                s_pool.pool_round_handoffs, s_pool.rounds,
+                "the pool drives every round of a threaded run"
+            );
+        }
+    }
+
+    /// Incremental snapshots change only their own construction counters:
+    /// committed state, schedules, and every other statistic are identical,
+    /// while a multi-round run re-copies strictly fewer slots.
+    #[test]
+    fn incremental_snapshots_only_change_snapshot_counters() {
+        let run = |incremental: bool| {
+            let mut heap = Heap::new();
+            // Two pages of mostly-cold slots plus one hot object.
+            for i in 0..96 {
+                heap.alloc(ObjData::scalar_i64(i));
+            }
+            let xs = heap.alloc(ObjData::zeros_i64(64));
+            let mut reds = RedVars::new();
+            let mut p = params(4, 2, ConflictPolicy::Waw, CommitOrder::OutOfOrder);
+            p.incremental_snapshots = incremental;
+            let stats = run_loop_engine(
+                &mut heap,
+                &mut reds,
+                &mut RangeSpace::new(0, 64),
+                &p,
+                false,
+                &|ctx: &mut TxCtx<'_>, i| {
+                    ctx.tx.write_i64(xs, i as usize, i as i64);
+                },
+                &mut NullObserver,
+            )
+            .unwrap();
+            (heap.digest(), stats)
+        };
+        let (d_full, s_full) = run(false);
+        let (d_inc, s_inc) = run(true);
+        assert_eq!(d_full, d_inc, "committed state must be identical");
+        let mask = |s: &RunStats| RunStats {
+            snapshot_slots_copied: 0,
+            snapshot_pages_reused: 0,
+            ..*s
+        };
+        assert_eq!(mask(&s_full), mask(&s_inc));
+        assert_eq!(s_full.snapshot_pages_reused, 0);
+        assert_eq!(
+            s_full.snapshot_slots_copied,
+            s_full.rounds * 97,
+            "full mode pays the whole table every round"
+        );
+        assert!(
+            s_inc.snapshot_slots_copied < s_full.snapshot_slots_copied / 2,
+            "incremental mode must copy far fewer slots ({} vs {})",
+            s_inc.snapshot_slots_copied,
+            s_full.snapshot_slots_copied
+        );
+        assert!(s_inc.snapshot_pages_reused > 0, "cold pages must be reused");
     }
 }

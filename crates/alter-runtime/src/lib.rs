@@ -50,6 +50,7 @@ mod dep;
 mod engine;
 mod executor;
 mod params;
+mod pool;
 pub mod quiet;
 mod reduction;
 mod space;
@@ -63,6 +64,7 @@ pub use engine::{
 };
 pub use executor::{run_loop, run_loop_observed, Driver, LoopBuilder};
 pub use params::{CommitOrder, ConflictPolicy, ExecParams};
+pub use pool::WorkerPool;
 pub use reduction::{RedDelta, RedLocals, RedVal, RedVarId, RedVars};
 pub use space::{IterSpace, RangeSpace, SeqSpace};
 pub use var::BoundScalar;

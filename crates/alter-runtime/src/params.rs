@@ -119,6 +119,21 @@ pub struct ExecParams {
     /// trace-visible cost accounting are identical either way — this knob
     /// exists for A/B measurement and as a belt-and-braces escape hatch.
     pub fast_validation: bool,
+    /// Take round snapshots through the heap's persistent page table
+    /// ([`alter_heap::Heap::snapshot_incremental`]) — O(slots dirtied since
+    /// the last round) — instead of rebuilding the whole slot table. The
+    /// snapshot views, committed state and traces are bit-identical either
+    /// way; only the [`crate::RunStats::snapshot_slots_copied`] /
+    /// [`crate::RunStats::snapshot_pages_reused`] counters tell them apart.
+    pub incremental_snapshots: bool,
+    /// Under the threaded driver, execute rounds on a persistent
+    /// [`crate::WorkerPool`] (long-lived threads, per-round handoff) instead
+    /// of spawning a fresh `thread::scope` per round. Results are collected
+    /// in worker-index order, so commit order, traces and statistics are
+    /// identical in all three drive modes —
+    /// [`crate::RunStats::pool_round_handoffs`] is the one exception, since
+    /// it counts the handoffs themselves. Ignored by the sequential driver.
+    pub worker_pool: bool,
 }
 
 impl std::fmt::Debug for ExecParams {
@@ -134,6 +149,8 @@ impl std::fmt::Debug for ExecParams {
             .field("work_budget", &self.work_budget)
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
             .field("fast_validation", &self.fast_validation)
+            .field("incremental_snapshots", &self.incremental_snapshots)
+            .field("worker_pool", &self.worker_pool)
             .finish()
     }
 }
@@ -153,6 +170,8 @@ impl ExecParams {
             work_budget: None,
             recorder: None,
             fast_validation: true,
+            incremental_snapshots: true,
+            worker_pool: true,
         }
     }
 
@@ -247,6 +266,22 @@ impl ExecParams {
     /// default; disabling it is only useful for A/B measurement).
     pub fn with_fast_validation(mut self, on: bool) -> Self {
         self.fast_validation = on;
+        self
+    }
+
+    /// Builder-style: enable or disable incremental round snapshots (on by
+    /// default; disabling rebuilds the page table every round, for A/B
+    /// measurement).
+    pub fn with_incremental_snapshots(mut self, on: bool) -> Self {
+        self.incremental_snapshots = on;
+        self
+    }
+
+    /// Builder-style: enable or disable the persistent worker pool under
+    /// the threaded driver (on by default; disabling reverts to one
+    /// `thread::scope` spawn per round, for A/B measurement).
+    pub fn with_worker_pool(mut self, on: bool) -> Self {
+        self.worker_pool = on;
         self
     }
 

@@ -162,6 +162,18 @@ pub struct Metrics {
     pub pool_reuses: u64,
     /// Words actually compared by exact validation merge-scans.
     pub exact_scan_words: u64,
+    /// Slot entries copied while establishing round snapshots. Reported by
+    /// the runtime, like the validation counters: the event stream carries
+    /// the trace-stable full-table figure (`RoundStart.snapshot_slots`),
+    /// while this counter reflects what snapshot construction actually
+    /// copied (far less with incremental snapshots on).
+    pub snapshot_slots_copied: u64,
+    /// Snapshot pages structurally shared with the previous round's
+    /// snapshot instead of being copied (incremental snapshots only).
+    pub snapshot_pages_reused: u64,
+    /// Rounds handed to the persistent worker pool (0 under the sequential
+    /// and per-round-scope drivers).
+    pub pool_round_handoffs: u64,
 }
 
 impl Metrics {
@@ -226,6 +238,22 @@ impl Metrics {
         self.exact_scan_words += exact_scan_words;
     }
 
+    /// Merges the runtime's round-overhead counters — snapshot
+    /// construction and worker-pool handoffs — into the registry. Like the
+    /// validation counters, these live outside the event stream: traces
+    /// are byte-identical whichever snapshot mode and driver produced
+    /// them, so the counters arrive through run statistics.
+    pub fn record_round_counters(
+        &mut self,
+        snapshot_slots_copied: u64,
+        snapshot_pages_reused: u64,
+        pool_round_handoffs: u64,
+    ) {
+        self.snapshot_slots_copied += snapshot_slots_copied;
+        self.snapshot_pages_reused += snapshot_pages_reused;
+        self.pool_round_handoffs += pool_round_handoffs;
+    }
+
     /// Fraction of started tasks that did not commit (conflicted, squashed,
     /// or otherwise wasted). 0.0 when no tasks ran.
     pub fn retry_rate(&self) -> f64 {
@@ -263,6 +291,11 @@ impl Metrics {
             self.fingerprint_rejects,
             self.pool_reuses,
             self.exact_scan_words
+        );
+        let _ = writeln!(
+            out,
+            "  snapshot_slots_copied={} snapshot_pages_reused={} pool_round_handoffs={}",
+            self.snapshot_slots_copied, self.snapshot_pages_reused, self.pool_round_handoffs
         );
         self.read_words.render_into(&mut out, "read_words");
         self.write_words.render_into(&mut out, "write_words");
@@ -373,5 +406,17 @@ mod tests {
         assert_eq!(m.exact_scan_words, 650);
         assert!(m.render().contains("fingerprint_rejects=8"));
         assert!(m.render().contains("exact_scan_words=650"));
+    }
+
+    #[test]
+    fn round_counters_accumulate_and_render() {
+        let mut m = Metrics::default();
+        m.record_round_counters(100, 30, 5);
+        m.record_round_counters(20, 10, 2);
+        assert_eq!(m.snapshot_slots_copied, 120);
+        assert_eq!(m.snapshot_pages_reused, 40);
+        assert_eq!(m.pool_round_handoffs, 7);
+        assert!(m.render().contains("snapshot_slots_copied=120"));
+        assert!(m.render().contains("pool_round_handoffs=7"));
     }
 }

@@ -228,7 +228,7 @@ impl AggloClust {
                 &mut reds,
                 &mut SeqSpace::new(nodes.clone()),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs,
             )?;

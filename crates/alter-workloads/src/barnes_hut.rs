@@ -202,7 +202,7 @@ impl BarnesHut {
                 &mut reds,
                 &mut SeqSpace::new(nodes),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs,
             )?;

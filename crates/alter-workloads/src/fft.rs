@@ -183,7 +183,7 @@ impl Fft {
             &mut reds,
             &mut RangeSpace::new(0, self.rows as u64),
             &params,
-            alter_runtime::Driver::sequential(),
+            probe.driver(),
             body,
             &mut obs,
         )?;

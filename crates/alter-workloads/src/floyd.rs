@@ -139,7 +139,7 @@ impl Floyd {
                 &mut reds,
                 &mut RangeSpace::new(0, n as u64),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs,
             )?;

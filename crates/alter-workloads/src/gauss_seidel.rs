@@ -231,7 +231,7 @@ impl GaussSeidel {
                 &mut reds,
                 &mut RangeSpace::new(0, sys.n() as u64),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs,
             )?;

@@ -98,7 +98,7 @@ impl Genome {
             &mut reds,
             &mut RangeSpace::new(0, stream.len() as u64),
             &params,
-            alter_runtime::Driver::sequential(),
+            probe.driver(),
             body,
             &mut obs,
         )?;

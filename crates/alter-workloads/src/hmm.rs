@@ -134,7 +134,7 @@ impl Hmm {
                 &mut reds,
                 &mut RangeSpace::new(0, n as u64),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs_clock,
             )?;

@@ -14,8 +14,13 @@
 //! }
 //! ```
 //!
-//! `feature` is loop-invariant (outside the heap); `membership[i]` is a
-//! disjoint per-iteration write; each cluster's accumulator is one heap
+//! `feature` lives in shared memory like the original benchmark: one
+//! read-only heap object per point, read transactionally each iteration
+//! (it is never written, so it can never conflict — but it *does* make the
+//! heap big, which is exactly the shape that rewards incremental
+//! snapshots: only the membership array, the accumulators, and `delta`
+//! are dirtied each round). `membership[i]` is a disjoint per-iteration
+//! write; each cluster's accumulator is one heap
 //! allocation, so two iterations conflict exactly when concurrent chunks
 //! update the same cluster — which is why "the larger the number of
 //! clusters to be formed, the fewer the conflicts" (§7.2, Figure 8).
@@ -161,7 +166,7 @@ impl KMeans {
     /// accumulator (features + count), the membership array, and `delta`.
     fn body<'a>(
         &self,
-        features: &'a [Vec<f64>],
+        feats: &'a [ObjId],
         centers: &'a [Vec<f64>],
         membership: ObjId,
         accs: &'a [ObjId],
@@ -170,7 +175,9 @@ impl KMeans {
         let nf = self.nfeatures;
         move |ctx, iter| {
             let i = iter as usize;
-            let c = Self::nearest(&features[i], centers);
+            // feature[i]: one range read of the point's heap object.
+            let fv: Vec<f64> = ctx.tx.with_f64s(feats[i], 0, nf, |s| s.to_vec());
+            let c = Self::nearest(&fv, centers);
             ctx.tx.work((centers.len() * nf) as u64);
             if ctx.tx.read_i64(membership, i) != c as i64 {
                 delta.add(ctx, 1.0);
@@ -181,10 +188,18 @@ impl KMeans {
             ctx.tx.update_f64s(accs[c], 0, nf + 1, |acc| {
                 acc[nf] += 1.0;
                 for f in 0..nf {
-                    acc[f] += features[i][f];
+                    acc[f] += fv[f];
                 }
             });
         }
+    }
+
+    /// Allocates the read-only per-point feature objects.
+    fn alloc_features(&self, heap: &mut Heap, features: &[Vec<f64>]) -> Vec<ObjId> {
+        features
+            .iter()
+            .map(|f| heap.alloc(ObjData::F64(f.clone())))
+            .collect()
     }
 
     /// Runs the full program under `probe`.
@@ -209,6 +224,9 @@ impl KMeans {
         let features = self.features();
         let mut heap = Heap::new();
         let mut reds = RedVars::new();
+        // Feature objects first: the cold read-only bulk of the heap stays
+        // on its own snapshot pages, away from the hot state below.
+        let feats = self.alloc_features(&mut heap, &features);
         let membership = heap.alloc(ObjData::I64(vec![-1; self.npoints]));
         let accs: Vec<ObjId> = (0..self.nclusters)
             .map(|_| heap.alloc(ObjData::zeros_f64(self.nfeatures + 1)))
@@ -227,13 +245,13 @@ impl KMeans {
             for acc in &accs {
                 heap.get_mut(*acc).f64s_mut().fill(0.0);
             }
-            let body = self.body(&features, &centers, membership, &accs, delta);
+            let body = self.body(&feats, &centers, membership, &accs, delta);
             let round_stats = alter_runtime::run_loop_observed(
                 &mut heap,
                 &mut reds,
                 &mut RangeSpace::new(0, self.npoints as u64),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs,
             )?;
@@ -302,13 +320,14 @@ impl InferTarget for KMeans {
         let features = self.features();
         let mut heap = Heap::new();
         let mut reds = RedVars::new();
+        let feats = self.alloc_features(&mut heap, &features);
         let membership = heap.alloc(ObjData::I64(vec![-1; self.npoints]));
         let accs: Vec<ObjId> = (0..self.nclusters)
             .map(|_| heap.alloc(ObjData::zeros_f64(self.nfeatures + 1)))
             .collect();
         let delta = BoundScalar::declare(&mut heap, &mut reds, "delta", RedVal::F64(0.0));
         let centers: Vec<Vec<f64>> = features[..self.nclusters].to_vec();
-        let body = self.body(&features, &centers, membership, &accs, delta);
+        let body = self.body(&feats, &centers, membership, &accs, delta);
         detect_dependences(
             &mut heap,
             &mut RangeSpace::new(0, self.npoints as u64),

@@ -179,7 +179,7 @@ impl Labyrinth {
             &mut reds,
             &mut RangeSpace::new(0, requests.len() as u64),
             &params,
-            alter_runtime::Driver::sequential(),
+            probe.driver(),
             body,
             &mut obs,
         )?;

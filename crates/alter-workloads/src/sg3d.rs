@@ -198,7 +198,7 @@ impl Sg3d {
                 &mut reds,
                 &mut RangeSpace::new(0, cells.len() as u64),
                 &params,
-                alter_runtime::Driver::sequential(),
+                probe.driver(),
                 body,
                 &mut obs,
             )?;

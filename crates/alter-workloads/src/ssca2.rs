@@ -125,7 +125,7 @@ impl Ssca2 {
             &mut reds,
             &mut RangeSpace::new(0, edges.len() as u64),
             &params,
-            alter_runtime::Driver::sequential(),
+            probe.driver(),
             body,
             &mut obs,
         )?;

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Runtime micro-benchmarks: the primitive-cost benchmarks plus the
-# validation fast-path A/B bench, which regenerates BENCH_runtime.json at
-# the repo root. Everything in the JSON is a deterministic counter (cost
-# units, validate words, exact-scan words, trace hashes) — no wall-clock —
-# so the file is stable across machines and is checked in; a diff after
-# running this script means the runtime's work profile actually changed.
+# Runtime micro-benchmarks: the primitive-cost benchmarks plus the two
+# deterministic A/B benches (validation fast path, round-overhead
+# machinery), which together regenerate BENCH_runtime.json at the repo
+# root. Everything in the JSON is a deterministic counter (cost units,
+# validate words, exact-scan words, snapshot slots copied, trace hashes) —
+# no wall-clock — so the file is stable across machines and is checked in;
+# a diff after running this script means the runtime's work profile
+# actually changed.
 #
 # Usage: scripts/bench.sh [--smoke]
-#   --smoke   validation bench only (the deterministic part CI runs)
+#   --smoke   deterministic A/B benches only (the part CI runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,10 +26,23 @@ if ! $smoke; then
   echo
 fi
 
-# cargo runs bench binaries from the package directory, so hand the bench
-# an absolute path.
-echo "== validation fast-path A/B (regenerates BENCH_runtime.json) =="
-cargo bench -p alter-bench --bench validation -- --json "$PWD/BENCH_runtime.json"
+# cargo runs bench binaries from the package directory, so hand the benches
+# absolute paths.
+mkdir -p target
+echo "== validation fast-path A/B =="
+cargo bench -p alter-bench --bench validation -- --json "$PWD/target/bench-validation.json"
+echo
+echo "== round-overhead A/B (snapshots + worker pool) =="
+cargo bench -p alter-bench --bench round_overhead -- --json "$PWD/target/bench-round-overhead.json"
+
+# Merge the two deterministic summaries into the checked-in profile.
+{
+  printf '{\n"validation":\n'
+  cat target/bench-validation.json
+  printf ',\n"round_overhead":\n'
+  cat target/bench-round-overhead.json
+  printf '}\n'
+} > BENCH_runtime.json
 
 echo
 echo "BENCH_runtime.json:"

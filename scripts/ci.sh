@@ -18,9 +18,11 @@ cargo build --release
 echo "== test (workspace) =="
 cargo test --workspace --quiet
 
-echo "== bench smoke (validation A/B, deterministic counters) =="
+echo "== bench smoke (deterministic A/B counters) =="
 scripts/bench.sh --smoke
-if ! git diff --quiet -- BENCH_runtime.json; then
+# `git status --porcelain` (not `git diff --quiet`) so a deleted or
+# never-committed BENCH_runtime.json counts as drift too.
+if [[ -n "$(git status --porcelain -- BENCH_runtime.json)" ]]; then
   echo "error: BENCH_runtime.json drifted — the runtime's deterministic"
   echo "work profile changed; inspect the diff and re-commit if intended."
   git --no-pager diff -- BENCH_runtime.json

@@ -1,0 +1,118 @@
+//! Round-mode invisibility sweep: the persistent worker pool and the
+//! incremental snapshot cache are pure throughput optimizations, so every
+//! workload must produce a byte-identical event transcript — and therefore
+//! the same trace hash, the same program output (the heap digest each
+//! workload extracts), and the same semantic `RunStats` — across all four
+//! combinations of {sequential, threaded+pool} × {incremental, full}
+//! snapshots, at 1, 2, and 8 workers.
+//!
+//! Drive-mode bookkeeping (`pool_round_handoffs`) and snapshot-economics
+//! counters (`snapshot_slots_copied`, `snapshot_pages_reused`) are the
+//! *only* fields allowed to differ; everything else in `RunStats` is part
+//! of the observable semantics and is compared exactly. Direct final-heap
+//! equality across drive modes is asserted at the engine level
+//! (`alter-runtime`'s `threaded_and_sequential_drivers_are_identical`);
+//! here each workload's output is the heap projection being compared.
+
+use alter::infer::ProgramOutput;
+use alter::runtime::RunStats;
+use alter::trace::{to_jsonl, trace_hash, Recorder, RingRecorder};
+use alter::workloads::{all_benchmarks, Benchmark, Scale};
+use std::sync::Arc;
+
+/// One traced run of `bench` under its best annotation.
+fn traced(
+    bench: &dyn Benchmark,
+    workers: usize,
+    threaded: bool,
+    worker_pool: bool,
+    incremental: bool,
+) -> (String, u64, ProgramOutput, RunStats) {
+    let rec = Arc::new(RingRecorder::default());
+    let mut probe = bench.best_probe(workers);
+    probe.threaded = threaded;
+    probe.worker_pool = worker_pool;
+    probe.incremental_snapshots = incremental;
+    probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    let run = bench.run_probe(&probe).expect("probe must complete");
+    let events = rec.events();
+    assert_eq!(rec.dropped(), 0, "ring must hold the whole trace");
+    (
+        to_jsonl(&events),
+        trace_hash(&events),
+        run.output,
+        run.stats,
+    )
+}
+
+/// Masks the fields a drive mode or snapshot mode is *allowed* to change.
+fn semantic(stats: &RunStats) -> RunStats {
+    RunStats {
+        snapshot_slots_copied: 0,
+        snapshot_pages_reused: 0,
+        ..stats.modulo_drive_mode()
+    }
+}
+
+#[test]
+fn round_modes_are_invisible_across_the_suite() {
+    for bench in all_benchmarks(Scale::Inference) {
+        for workers in [1usize, 2, 8] {
+            // (threaded, worker_pool, incremental_snapshots); the first
+            // entry is the baseline every other mode must match.
+            let modes = [
+                (false, false, true),
+                (false, false, false),
+                (true, true, true),
+                (true, true, false),
+            ];
+            let (jsonl0, hash0, out0, stats0) =
+                traced(bench.as_ref(), workers, modes[0].0, modes[0].1, modes[0].2);
+            assert_eq!(
+                stats0.pool_round_handoffs,
+                0,
+                "{}/{workers}w: sequential driver must not touch the pool",
+                bench.name()
+            );
+            for (threaded, worker_pool, incremental) in &modes[1..] {
+                let tag = format!(
+                    "{}/{workers}w threaded={threaded} pool={worker_pool} incr={incremental}",
+                    bench.name()
+                );
+                let (jsonl, hash, out, stats) = traced(
+                    bench.as_ref(),
+                    workers,
+                    *threaded,
+                    *worker_pool,
+                    *incremental,
+                );
+                assert_eq!(jsonl0, jsonl, "{tag}: transcripts must be byte-identical");
+                assert_eq!(hash0, hash, "{tag}: trace hashes must agree");
+                assert_eq!(out0, out, "{tag}: program outputs must agree");
+                assert_eq!(
+                    semantic(&stats0),
+                    semantic(&stats),
+                    "{tag}: semantic RunStats must agree"
+                );
+                if *threaded && *worker_pool && workers > 1 {
+                    assert!(
+                        stats.pool_round_handoffs > 0,
+                        "{tag}: the pool must actually run rounds"
+                    );
+                }
+                if *incremental {
+                    assert_eq!(
+                        stats.snapshot_slots_copied, stats0.snapshot_slots_copied,
+                        "{tag}: snapshot economics are deterministic"
+                    );
+                } else {
+                    assert!(
+                        stats.snapshot_slots_copied >= stats0.snapshot_slots_copied,
+                        "{tag}: full snapshots can never copy less than \
+                         incremental ones"
+                    );
+                }
+            }
+        }
+    }
+}
