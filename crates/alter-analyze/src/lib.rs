@@ -1,0 +1,41 @@
+//! # alter-analyze — dependence/annotation soundness analysis
+//!
+//! The inference engine of the paper (§5) brute-forces every candidate
+//! annotation and lets probes fail at runtime; `dep.rs` reduces the whole
+//! dependence structure to three booleans. This crate adds the layer that
+//! *explains* and *predicts*, consuming the
+//! [`LoopSummary`](alter_runtime::LoopSummary) IR produced by the shared
+//! sequential replay:
+//!
+//! * [`classify`] — per-edge breakability classification
+//!   ([`Breakability`]) and a schedule-prediction simulator ([`predict`])
+//!   that replays the engine's exact lock-step round algorithm over the
+//!   summarised access sets, yielding conservative must-fail verdicts
+//!   ([`Verdict`]) the inference engine uses to prune provably-failing
+//!   probes.
+//! * [`lint`] — an annotation linter: given a parsed
+//!   [`Annotation`](alter_runtime::Annotation) (or the DOALL/TLS targets),
+//!   emit structured [`Diagnostic`]s — severity, location, human message —
+//!   with a canonical machine-readable JSON form.
+//! * [`sanitize`] — a trace isolation sanitizer: replay a recorded JSONL
+//!   trace (with `ExecParams::record_sets` payloads) and re-check the
+//!   isolation invariants — deterministic commit order, committed
+//!   write-sets disjoint under StaleReads, validate verdicts consistent
+//!   with the recorded read/write sets.
+//!
+//! The prediction contract is deliberately one-sided: [`predict`] may
+//! return [`Verdict::Unknown`] for a probe that will fail, but must never
+//! return a must-fail verdict for a probe that would succeed — pruning
+//! never changes the outcome of inference, only its cost. The
+//! cross-validation suite in `tests/analysis.rs` checks this against the
+//! observed probe outcomes of all 12 workloads.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod lint;
+pub mod sanitize;
+
+pub use classify::{classify_edge, predict, AnalyzeConfig, Breakability, Verdict};
+pub use lint::{diagnostics_json, lint, Diagnostic, LintTarget, Severity};
+pub use sanitize::{sanitize, SanitizeConfig, Violation};

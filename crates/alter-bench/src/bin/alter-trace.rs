@@ -43,7 +43,48 @@ flags:
                persistent worker pool (only affects --threaded runs)
   --threaded   drive rounds with real threads instead of the sequential
                simulation (identical traces, different wall-clock)
+  --deps       print the workload's dependence summary (per-location
+               edges with iteration distances) and its Table 3 Dep cell
+               instead of running a probe; with no workload, print the
+               Dep column for all twelve
   --list       list workload names and exit";
+
+/// `--deps` for one workload: the full rendered summary plus the Dep cell.
+fn print_deps(bench: &dyn Benchmark) {
+    let summary = bench.probe_summary();
+    let dep = summary.report();
+    println!("{}: dependence summary", bench.name());
+    print!("{}", summary.render());
+    println!(
+        "Table 3 Dep cell: {}  (RAW {}, WAW {}, WAR {})",
+        if dep.any() { "Yes" } else { "No" },
+        dep.raw,
+        dep.waw,
+        dep.war
+    );
+}
+
+/// `--deps` with no workload: the paper's Table 3 Dep column.
+fn print_deps_table() {
+    println!("Table 3 Dep column (loop-carried dependences):");
+    println!(
+        "  {:<12} {:<5} {:<5} {:<5} {:<5} edges",
+        "Benchmark", "Dep", "RAW", "WAW", "WAR"
+    );
+    for b in all_benchmarks(Scale::Inference) {
+        let summary = b.probe_summary();
+        let dep = summary.report();
+        println!(
+            "  {:<12} {:<5} {:<5} {:<5} {:<5} {}",
+            b.name(),
+            if dep.any() { "Yes" } else { "No" },
+            dep.raw,
+            dep.waw,
+            dep.war,
+            summary.edges.len()
+        );
+    }
+}
 
 fn list_workloads() {
     println!("workloads (inference-scale inputs):");
@@ -145,6 +186,7 @@ fn main() -> ExitCode {
     let mut incremental_snapshots = true;
     let mut worker_pool = true;
     let mut threaded = false;
+    let mut deps = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -165,6 +207,7 @@ fn main() -> ExitCode {
             "--no-incremental-snapshots" => incremental_snapshots = false,
             "--no-worker-pool" => worker_pool = false,
             "--threaded" => threaded = true,
+            "--deps" => deps = true,
             _ if a.starts_with("--") => {
                 eprintln!("error: unknown flag {a}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -179,6 +222,10 @@ fn main() -> ExitCode {
     }
 
     let Some(workload) = workload else {
+        if deps {
+            print_deps_table();
+            return ExitCode::SUCCESS;
+        }
         eprintln!("error: no workload given\n{USAGE}");
         return ExitCode::FAILURE;
     };
@@ -186,6 +233,10 @@ fn main() -> ExitCode {
         eprintln!("error: unknown workload `{workload}` (try --list)");
         return ExitCode::FAILURE;
     };
+    if deps {
+        print_deps(bench.as_ref());
+        return ExitCode::SUCCESS;
+    }
 
     let annotation = annotation.unwrap_or_else(|| "best".to_owned());
     let mut probe = if annotation.eq_ignore_ascii_case("best") {

@@ -8,6 +8,7 @@
 
 use crate::outcome::Outcome;
 use crate::target::{InferTarget, Model, Probe, ProgramOutput};
+use alter_analyze::{predict, AnalyzeConfig, Verdict};
 use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError, WorkerPool};
 use alter_trace::{Event, Recorder};
 use std::sync::Arc;
@@ -38,6 +39,13 @@ pub struct InferConfig {
     /// serial automatically while a recorder is enabled, because the probes'
     /// event streams would otherwise interleave.
     pub concurrent_probes: bool,
+    /// Consult the static analyzer before each probe and skip candidates it
+    /// proves must fail (on by default). Pruning never changes which
+    /// annotations are reported valid — the analyzer's verdicts are
+    /// one-sided — only how many probes actually run; see
+    /// [`InferReport::pruned_candidates`]. Off re-enables the paper's
+    /// exhaustive search, for A/B comparison.
+    pub prune: bool,
 }
 
 impl std::fmt::Debug for InferConfig {
@@ -50,6 +58,7 @@ impl std::fmt::Debug for InferConfig {
             .field("budget_words", &self.budget_words)
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
             .field("concurrent_probes", &self.concurrent_probes)
+            .field("prune", &self.prune)
             .finish()
     }
 }
@@ -64,6 +73,7 @@ impl Default for InferConfig {
             budget_words: 1 << 22, // 4M words = 32 MiB of tracked state
             recorder: None,
             concurrent_probes: true,
+            prune: true,
         }
     }
 }
@@ -79,6 +89,20 @@ pub struct ReductionResult {
     pub op: RedOp,
     /// Classified outcome.
     pub outcome: Outcome,
+}
+
+/// A candidate annotation the static analyzer proved must fail; its probe
+/// was skipped and the predicted outcome recorded in its place.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrunedCandidate {
+    /// Annotation-style probe description (e.g. `StaleReads`,
+    /// `OutOfOrder + Reduction(sum, +)`).
+    pub annotation: String,
+    /// The outcome recorded in the report for this candidate.
+    pub outcome: Outcome,
+    /// The analyzer's verdict, human-readable (predicted retry rate or
+    /// tracked-words footprint).
+    pub reason: String,
 }
 
 /// The complete inference result for one benchmark — one row of Table 3.
@@ -99,6 +123,12 @@ pub struct InferReport {
     pub reductions: Vec<ReductionResult>,
     /// Annotation strings that preserved the program output.
     pub valid_annotations: Vec<String>,
+    /// Candidates skipped because the analyzer proved they must fail
+    /// (empty when pruning is off or the target provides no summary).
+    pub pruned_candidates: Vec<PrunedCandidate>,
+    /// Number of candidate probes actually executed (pruned candidates
+    /// excluded; the internal sequential-cost replay is not counted).
+    pub probes_run: u64,
 }
 
 impl InferReport {
@@ -227,10 +257,51 @@ fn run_probes(
     })
 }
 
+/// Resolves a batch of planned `(probe, verdict)` pairs: probes the
+/// analyzer could not rule out are run (in batch order, through the
+/// serial/concurrent scheduler), must-fail probes are skipped and their
+/// predicted outcome recorded in `pruned`.
+fn resolve_batch(
+    target: &(dyn InferTarget + Sync),
+    reference: &ProgramOutput,
+    planned: &[(Probe, Verdict)],
+    cfg: &InferConfig,
+    probes_run: &mut u64,
+    pruned: &mut Vec<PrunedCandidate>,
+) -> Vec<Outcome> {
+    let live: Vec<Probe> = planned
+        .iter()
+        .filter(|(_, v)| !v.must_fail())
+        .map(|(p, _)| p.clone())
+        .collect();
+    *probes_run += live.len() as u64;
+    let mut live_outcomes = run_probes(target, reference, &live, cfg).into_iter();
+    planned
+        .iter()
+        .map(|(probe, verdict)| {
+            let outcome = match verdict {
+                Verdict::Unknown => {
+                    return live_outcomes.next().expect("one outcome per live probe")
+                }
+                Verdict::OutOfMemory { .. } => Outcome::OutOfMemory,
+                Verdict::HighConflicts { .. } => Outcome::HighConflicts,
+            };
+            pruned.push(PrunedCandidate {
+                annotation: probe.describe(),
+                outcome: outcome.clone(),
+                reason: verdict.to_string(),
+            });
+            outcome
+        })
+        .collect()
+}
+
 /// Runs the full inference algorithm on one target: dependence check, the
 /// three Table 3 models, and — if no policy-only annotation succeeds — the
 /// bounded reduction search over the target's candidate variables and the
-/// six operators.
+/// six operators. When [`InferConfig::prune`] is on and the target provides
+/// a dependence summary, each candidate is first shown to the static
+/// analyzer and skipped if it is proven to fail.
 pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferReport {
     let reference = target.run_sequential();
     let seq_cost = sequential_cost(target, cfg);
@@ -239,9 +310,43 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
     // workers × factor × sequential is a runaway.
     let work_budget = (seq_cost as f64 * cfg.timeout_factor * cfg.workers as f64) as u64;
 
-    let dep = target.probe_dependences();
+    let summary = target.probe_summary();
+    let dep = if summary.is_empty() {
+        target.probe_dependences()
+    } else {
+        summary.report()
+    };
 
     let budget_words = target.tracked_budget_words().unwrap_or(cfg.budget_words);
+    let acfg = AnalyzeConfig {
+        workers: cfg.workers,
+        chunk: cfg.chunk,
+        high_conflict_threshold: cfg.high_conflict_threshold,
+        budget_words,
+        ..AnalyzeConfig::default()
+    };
+    // The analyzer's verdict for one candidate, or `Unknown` ("just run
+    // it") when pruning is off. A reduction candidate is only simulated
+    // when the summary knows which heap object the variable labels — the
+    // reduction privatises that object, so its accesses are elided from
+    // the simulated sets exactly as the runtime removes them from the real
+    // tracked sets.
+    let verdict_for = |model: Model, reduction: Option<&(String, RedOp)>| -> Verdict {
+        if !cfg.prune {
+            return Verdict::Unknown;
+        }
+        let elide: Vec<alter_heap::ObjId> = match reduction {
+            None => Vec::new(),
+            Some((var, _)) => match summary.labeled(var) {
+                Some(obj) => vec![obj],
+                None => return Verdict::Unknown,
+            },
+        };
+        let params = model.exec_params(cfg.workers, cfg.chunk);
+        predict(&summary, params.conflict, params.order, &elide, &acfg)
+    };
+    let mut probes_run: u64 = 0;
+    let mut pruned_candidates: Vec<PrunedCandidate> = Vec::new();
     let make_probe = |model: Model, reduction: Option<(String, RedOp)>| {
         let mut probe = Probe::new(model, cfg.workers, cfg.chunk);
         probe.reduction = reduction;
@@ -251,25 +356,33 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         probe
     };
 
-    let model_probes = [
-        make_probe(Model::Tls, None),
-        make_probe(Model::OutOfOrder, None),
-        make_probe(Model::StaleReads, None),
-    ];
-    let mut model_outcomes = run_probes(target, &reference, &model_probes, cfg).into_iter();
+    let model_probes: Vec<(Probe, Verdict)> = Model::TABLE3
+        .into_iter()
+        .map(|m| (make_probe(m, None), verdict_for(m, None)))
+        .collect();
+    let mut model_outcomes = resolve_batch(
+        target,
+        &reference,
+        &model_probes,
+        cfg,
+        &mut probes_run,
+        &mut pruned_candidates,
+    )
+    .into_iter();
     let tls = model_outcomes.next().expect("three model probes");
     let out_of_order = model_outcomes.next().expect("three model probes");
     let stale_reads = model_outcomes.next().expect("three model probes");
 
     let mut valid_annotations = Vec::new();
-    for (probe, outcome) in model_probes.iter().zip([&tls, &out_of_order, &stale_reads]) {
+    for ((probe, _), outcome) in model_probes.iter().zip([&tls, &out_of_order, &stale_reads]) {
         if outcome.is_success() {
             valid_annotations.push(format!("[{}]", probe.describe()));
         }
     }
 
     // "A search for a valid reduction is performed only if none of the
-    // annotations of the form (P, ε) are valid" (§5).
+    // annotations of the form (P, ε) are valid" (§5). Pruned model probes
+    // keep the gate firing: their recorded outcomes are failures.
     let mut reductions = Vec::new();
     if !out_of_order.is_success() && !stale_reads.is_success() {
         let mut red_probes = Vec::new();
@@ -277,13 +390,22 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         for var in target.reduction_candidates() {
             for op in RedOp::ALL {
                 for model in [Model::OutOfOrder, Model::StaleReads] {
-                    red_probes.push(make_probe(model, Some((var.clone(), op))));
+                    let reduction = (var.clone(), op);
+                    let verdict = verdict_for(model, Some(&reduction));
+                    red_probes.push((make_probe(model, Some(reduction)), verdict));
                     red_meta.push((model, var.clone(), op));
                 }
             }
         }
-        let outcomes = run_probes(target, &reference, &red_probes, cfg);
-        for (((model, var, op), probe), outcome) in
+        let outcomes = resolve_batch(
+            target,
+            &reference,
+            &red_probes,
+            cfg,
+            &mut probes_run,
+            &mut pruned_candidates,
+        );
+        for (((model, var, op), (probe, _)), outcome) in
             red_meta.into_iter().zip(&red_probes).zip(outcomes)
         {
             if outcome.is_success() {
@@ -306,5 +428,7 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         stale_reads,
         reductions,
         valid_annotations,
+        pruned_candidates,
+        probes_run,
     }
 }

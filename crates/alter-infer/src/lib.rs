@@ -22,7 +22,7 @@ mod target;
 
 pub use auto::{auto_parallelize, AutoDecision, ChosenConfig};
 pub use chunk::{tune_chunk, ChunkTuning};
-pub use engine::{classify, infer, InferConfig, InferReport, ReductionResult};
+pub use engine::{classify, infer, InferConfig, InferReport, PrunedCandidate, ReductionResult};
 pub use outcome::Outcome;
 pub use target::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 
@@ -31,7 +31,8 @@ mod tests {
     use super::*;
     use alter_heap::{Heap, ObjData};
     use alter_runtime::{
-        detect_dependences, BoundScalar, DepReport, RangeSpace, RedVal, RedVars, RunError, TxCtx,
+        summarize_dependences, BoundScalar, DepReport, LoopSummary, RangeSpace, RedVal, RedVars,
+        RunError, TxCtx,
     };
     use alter_sim::{simulate_loop, CostModel};
 
@@ -91,10 +92,10 @@ mod tests {
                 |heap, _, &out| ProgramOutput::from_ints(heap.get(out).i64s().to_vec()),
             )
         }
-        fn probe_dependences(&self) -> DepReport {
+        fn probe_summary(&self) -> LoopSummary {
             let mut heap = Heap::new();
             let out = heap.alloc(ObjData::zeros_i64(64));
-            detect_dependences(&mut heap, &mut RangeSpace::new(0, 64), |ctx, i| {
+            summarize_dependences(&mut heap, &mut RangeSpace::new(0, 64), |ctx, i| {
                 ctx.tx.write_i64(out, i as usize, 3 * i as i64);
             })
         }
@@ -127,10 +128,10 @@ mod tests {
                 |heap, _, &xs| ProgramOutput::from_ints(heap.get(xs).i64s().to_vec()),
             )
         }
-        fn probe_dependences(&self) -> DepReport {
+        fn probe_summary(&self) -> LoopSummary {
             let mut heap = Heap::new();
             let xs = heap.alloc(ObjData::zeros_i64(256));
-            detect_dependences(&mut heap, &mut RangeSpace::new(1, 256), chain_body(xs))
+            summarize_dependences(&mut heap, &mut RangeSpace::new(1, 256), chain_body(xs))
         }
         fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {
             reference.ints == candidate.ints
@@ -173,13 +174,16 @@ mod tests {
                 clock,
             })
         }
-        fn probe_dependences(&self) -> DepReport {
+        fn probe_summary(&self) -> LoopSummary {
             let mut heap = Heap::new();
             let mut reds = RedVars::new();
             let sum = BoundScalar::declare(&mut heap, &mut reds, "sum", RedVal::I64(0));
-            detect_dependences(&mut heap, &mut RangeSpace::new(0, 512), move |ctx, i| {
-                sum.add(ctx, i as i64);
-            })
+            let mut s =
+                summarize_dependences(&mut heap, &mut RangeSpace::new(0, 512), move |ctx, i| {
+                    sum.add(ctx, i as i64);
+                });
+            s.label("sum", sum.object());
+            s
         }
         fn reduction_candidates(&self) -> Vec<String> {
             vec!["sum".into()]
@@ -299,6 +303,52 @@ mod tests {
         );
         assert_eq!(serial, concurrent);
         assert!(!concurrent.reductions.is_empty(), "search actually ran");
+    }
+
+    #[test]
+    fn pruning_skips_provably_failing_probes_without_changing_the_answer() {
+        let pruned = infer(&SumToy, &InferConfig::default());
+        let exhaustive = infer(
+            &SumToy,
+            &InferConfig {
+                prune: false,
+                ..Default::default()
+            },
+        );
+        // The shared accumulator serialises every policy-only probe: the
+        // analyzer proves all three model probes fail.
+        assert!(
+            !pruned.pruned_candidates.is_empty(),
+            "expected pruning on the accumulator: {pruned:?}"
+        );
+        assert!(pruned.probes_run < exhaustive.probes_run);
+        assert!(exhaustive.pruned_candidates.is_empty());
+        // Identity: the same annotations are reported valid either way.
+        assert_eq!(pruned.valid_annotations, exhaustive.valid_annotations);
+        assert_eq!(pruned.reduction_cell(), exhaustive.reduction_cell());
+        assert_eq!(pruned.dep, exhaustive.dep);
+        // Soundness: nothing the analyzer pruned succeeds exhaustively.
+        for pc in &pruned.pruned_candidates {
+            let observed = if pc.annotation == "TLS" {
+                Some(&exhaustive.tls)
+            } else if pc.annotation == "OutOfOrder" {
+                Some(&exhaustive.out_of_order)
+            } else if pc.annotation == "StaleReads" {
+                Some(&exhaustive.stale_reads)
+            } else {
+                None
+            };
+            if let Some(o) = observed {
+                assert!(!o.is_success(), "{} was pruned but succeeds", pc.annotation);
+            }
+        }
+    }
+
+    #[test]
+    fn targets_without_a_summary_are_never_pruned() {
+        let report = infer(&CrashToy, &InferConfig::default());
+        assert!(report.pruned_candidates.is_empty());
+        assert_eq!(report.probes_run, 3, "all three model probes ran");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! candidate configurations, a dependence check, and the list of scalar
 //! variables a reduction annotation could name.
 
-use alter_runtime::{DepReport, ExecParams, RedOp, RedVars, RunError, RunStats};
+use alter_runtime::{DepReport, ExecParams, LoopSummary, RedOp, RedVars, RunError, RunStats};
 use alter_sim::SimClock;
 use alter_trace::Recorder;
 use std::sync::Arc;
@@ -92,6 +92,11 @@ pub struct Probe {
     /// (on by default; off re-clones the whole heap each round, for A/B
     /// measurement only — traces are identical either way).
     pub incremental_snapshots: bool,
+    /// Whether the engine records each task's full tracked read/write sets
+    /// into the trace (`task_sets` events) for the isolation sanitizer.
+    /// Off by default: the payloads are large and recorded traces stay
+    /// byte-identical to previous releases unless asked for.
+    pub record_sets: bool,
 }
 
 impl std::fmt::Debug for Probe {
@@ -108,6 +113,7 @@ impl std::fmt::Debug for Probe {
             .field("threaded", &self.threaded)
             .field("worker_pool", &self.worker_pool)
             .field("incremental_snapshots", &self.incremental_snapshots)
+            .field("record_sets", &self.record_sets)
             .finish()
     }
 }
@@ -128,6 +134,7 @@ impl Probe {
             threaded: false,
             worker_pool: true,
             incremental_snapshots: true,
+            record_sets: false,
         }
     }
 
@@ -159,6 +166,7 @@ impl Probe {
         p.fast_validation = self.fast_validation;
         p.worker_pool = self.worker_pool;
         p.incremental_snapshots = self.incremental_snapshots;
+        p.record_sets = self.record_sets;
         if let Some((name, op)) = &self.reduction {
             let var = reds
                 .lookup(name)
@@ -252,9 +260,25 @@ pub trait InferTarget {
     /// Propagates the runtime's crash / out-of-memory / work-budget aborts.
     fn run_probe(&self, probe: &Probe) -> Result<ProbeRun, RunError>;
 
+    /// Replays the loop sequentially into the full dependence-summary IR
+    /// (see [`alter_runtime::summarize_dependences`]): per-location edges
+    /// with iteration distances, access statistics, and per-iteration
+    /// read/write sets. The analyzer consumes this to prune provably
+    /// failing probes and to lint annotations.
+    ///
+    /// The default returns an empty summary, which disables analysis-based
+    /// pruning for this target; override [`InferTarget::probe_dependences`]
+    /// too in that case, or the Dep column will be empty as well.
+    fn probe_summary(&self) -> LoopSummary {
+        LoopSummary::default()
+    }
+
     /// Replays the loop to detect loop-carried dependences (Table 3's Dep
-    /// column; see [`alter_runtime::detect_dependences`]).
-    fn probe_dependences(&self) -> DepReport;
+    /// column). Defaults to collapsing [`InferTarget::probe_summary`]; only
+    /// targets that cannot produce a summary need their own replay here.
+    fn probe_dependences(&self) -> DepReport {
+        self.probe_summary().report()
+    }
 
     /// Scalar variables a reduction annotation may name.
     fn reduction_candidates(&self) -> Vec<String> {

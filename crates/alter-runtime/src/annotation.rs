@@ -40,7 +40,7 @@ impl fmt::Display for Policy {
 ///
 /// `+` and `×` merge by delta (`Sc := Sc + (new − old)`); the other four are
 /// idempotent and merge directly (`Sc := Sc op new`) — paper §4.2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RedOp {
     /// Addition.
     Add,

@@ -2,7 +2,7 @@
 
 use crate::annotation::RedOp;
 use crate::reduction::{RedLocals, RedVal, RedVarId};
-use alter_heap::Tx;
+use alter_heap::{ObjId, Tx};
 
 /// Everything a loop body may touch during one transaction: the isolated
 /// heap view and the update-only reduction accumulators.
@@ -10,11 +10,19 @@ pub struct TxCtx<'s> {
     /// Instrumented, isolated heap access.
     pub tx: Tx<'s>,
     pub(crate) reds: RedLocals,
+    /// When set (only by the dependence-summary replay), `BoundScalar`
+    /// heap-path updates log `(object, operator)` here so the analyzer can
+    /// tell reductive accesses apart from plain reads/writes.
+    pub(crate) op_log: Option<Vec<(ObjId, RedOp)>>,
 }
 
 impl<'s> TxCtx<'s> {
     pub(crate) fn new(tx: Tx<'s>, reds: RedLocals) -> Self {
-        TxCtx { tx, reds }
+        TxCtx {
+            tx,
+            reds,
+            op_log: None,
+        }
     }
 
     /// Applies the source update `var op= v` to the private copy of a

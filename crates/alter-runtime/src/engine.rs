@@ -790,6 +790,18 @@ fn run_rounds(
                 conflict,
             };
 
+            // Opt-in sanitizer payload: the full tracked sets, emitted just
+            // before the verdict event they justify.
+            if params.record_sets {
+                if let Some(rec) = rec {
+                    rec.record(Event::TaskSets {
+                        seq: task.seq,
+                        reads: alter_trace::render_set(&effects.reads),
+                        writes: alter_trace::render_set(&effects.writes),
+                    });
+                }
+            }
+
             if squash || conflict.is_some() {
                 if let Some(rec) = rec {
                     if let Some(c) = conflict {

@@ -58,7 +58,10 @@ mod var;
 
 pub use annotation::{Annotation, ParseAnnotationError, Policy, RedOp, Reduction};
 pub use body::{LoopBody, TxCtx};
-pub use dep::{detect_dependences, DepReport};
+pub use dep::{
+    detect_dependences, summarize_dependences, DepEdge, DepKind, DepReport, IterAccess,
+    LocationStats, LoopSummary,
+};
 pub use engine::{
     ConflictDetail, NullObserver, RoundObserver, RoundReport, RunError, RunStats, TaskReport,
 };

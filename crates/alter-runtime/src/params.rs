@@ -134,6 +134,12 @@ pub struct ExecParams {
     /// [`crate::RunStats::pool_round_handoffs`] is the one exception, since
     /// it counts the handoffs themselves. Ignored by the sequential driver.
     pub worker_pool: bool,
+    /// Emit an `Event::TaskSets` with each validated task's full read and
+    /// write sets (canonical `obj:lo-hi,…` form). Off by default — it fattens
+    /// traces considerably and exists for the `alter-lint` isolation
+    /// sanitizer, which re-checks validation verdicts against the recorded
+    /// sets. No effect without a recorder.
+    pub record_sets: bool,
 }
 
 impl std::fmt::Debug for ExecParams {
@@ -151,6 +157,7 @@ impl std::fmt::Debug for ExecParams {
             .field("fast_validation", &self.fast_validation)
             .field("incremental_snapshots", &self.incremental_snapshots)
             .field("worker_pool", &self.worker_pool)
+            .field("record_sets", &self.record_sets)
             .finish()
     }
 }
@@ -172,6 +179,7 @@ impl ExecParams {
             fast_validation: true,
             incremental_snapshots: true,
             worker_pool: true,
+            record_sets: false,
         }
     }
 
@@ -282,6 +290,13 @@ impl ExecParams {
     /// `thread::scope` spawn per round, for A/B measurement).
     pub fn with_worker_pool(mut self, on: bool) -> Self {
         self.worker_pool = on;
+        self
+    }
+
+    /// Builder-style: emit full per-task read/write sets into the trace
+    /// (off by default; used by the `alter-lint` isolation sanitizer).
+    pub fn with_record_sets(mut self, on: bool) -> Self {
+        self.record_sets = on;
         self
     }
 

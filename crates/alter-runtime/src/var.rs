@@ -71,6 +71,9 @@ impl BoundScalar {
         if ctx.red_covers(self.red) {
             ctx.red_apply(self.red, op, v);
         } else {
+            if let Some(log) = ctx.op_log.as_mut() {
+                log.push((self.obj, op));
+            }
             let cur = self.heap_value(ctx);
             self.heap_store(ctx, cur.apply(op, v));
         }

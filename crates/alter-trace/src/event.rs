@@ -69,6 +69,22 @@ pub enum Event {
         /// Iterations in the chunk.
         iters: u32,
     },
+    /// The full tracked read and write sets of a task entering validation,
+    /// in canonical `obj:lo-hi,…` form (half-open word ranges, ascending;
+    /// see [`crate::jsonl::render_set`]). Emitted only when
+    /// `ExecParams::record_sets` is on — it fattens traces considerably —
+    /// and immediately precedes the task's verdict event, which lets the
+    /// `alter-lint` sanitizer recompute every validation verdict from the
+    /// recorded sets.
+    TaskSets {
+        /// The task about to be validated.
+        seq: u64,
+        /// Canonical rendering of the tracked read set (empty under
+        /// write-only tracking).
+        reads: String,
+        /// Canonical rendering of the tracked write set.
+        writes: String,
+    },
     /// Validation passed: no overlap with any earlier committed write set
     /// of the round after comparing `validate_words` words.
     ValidateOk {
@@ -180,6 +196,7 @@ impl Event {
         match self {
             Event::RoundStart { .. } => "round_start",
             Event::TaskStart { .. } => "task_start",
+            Event::TaskSets { .. } => "task_sets",
             Event::ValidateOk { .. } => "validate_ok",
             Event::ValidateConflict { .. } => "validate_conflict",
             Event::Commit { .. } => "commit",
@@ -211,6 +228,11 @@ mod tests {
                 seq: 0,
                 worker: 0,
                 iters: 1,
+            },
+            Event::TaskSets {
+                seq: 0,
+                reads: String::new(),
+                writes: String::new(),
             },
             Event::ValidateOk {
                 seq: 0,

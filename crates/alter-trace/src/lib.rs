@@ -42,7 +42,7 @@ pub mod render;
 
 pub use event::{ConflictKind, Event};
 pub use hash::{format_hash, trace_hash, TraceHasher};
-pub use jsonl::{event_json, to_jsonl};
+pub use jsonl::{event_json, from_jsonl, parse_set, render_set, to_jsonl, ParseTraceError};
 pub use metrics::{Histogram, Metrics, HISTOGRAM_BUCKETS};
 pub use recorder::{NopRecorder, Recorder, RingRecorder, DEFAULT_RING_CAPACITY};
 pub use render::render_timeline;

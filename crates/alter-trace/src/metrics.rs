@@ -216,7 +216,7 @@ impl Metrics {
             Event::Crash { .. } => self.crashes += 1,
             Event::WorkBudgetExceeded { .. } => self.work_budget_exceeded += 1,
             Event::ProbeStart { .. } => self.probes += 1,
-            Event::ProbeOutcome { .. } | Event::RunEnd { .. } => {}
+            Event::TaskSets { .. } | Event::ProbeOutcome { .. } | Event::RunEnd { .. } => {}
         }
     }
 

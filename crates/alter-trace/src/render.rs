@@ -37,6 +37,13 @@ pub fn render_timeline(events: &[Event]) -> String {
                     pad(in_round)
                 );
             }
+            Event::TaskSets { seq, reads, writes } => {
+                let _ = writeln!(
+                    out,
+                    "{}tx {seq}: sets reads=[{reads}] writes=[{writes}]",
+                    pad(in_round)
+                );
+            }
             Event::ValidateOk {
                 seq,
                 validate_words,

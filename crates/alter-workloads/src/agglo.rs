@@ -18,7 +18,7 @@ use alter_collections::AlterList;
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RedOp, RedVars, RunError, RunStats, SeqSpace, TxCtx,
+    summarize_dependences, LoopSummary, RedOp, RedVars, RunError, RunStats, SeqSpace, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -277,12 +277,14 @@ impl InferTarget for AggloClust {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         // One pass at chunk 1 exhibits the structural dependences: the
-        // merge-cost cell and the cluster scans.
+        // merge-cost cell and the cluster scans. The replay runs at the
+        // full point count so the summarised read-set footprint matches
+        // what a real probe would have to track against its memory budget.
         let mut heap = Heap::new();
         let list: AlterList<ObjId> = AlterList::new(&mut heap);
-        for (x, y) in self.points().into_iter().take(64) {
+        for (x, y) in self.points() {
             let obj = heap.alloc(ObjData::F64(vec![x, y, 1.0, 0.0]));
             list.push_back(&mut heap, obj);
         }
@@ -306,7 +308,7 @@ impl InferTarget for AggloClust {
             }
             ctx.tx.write_f64(obj, SZ, me.2); // touch own cluster
         };
-        detect_dependences(&mut heap, &mut SeqSpace::new(nodes), body)
+        summarize_dependences(&mut heap, &mut SeqSpace::new(nodes), body)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -13,7 +13,7 @@ use alter_collections::AlterList;
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RedOp, RedVars, RunError, RunStats, SeqSpace, TxCtx,
+    summarize_dependences, LoopSummary, RedOp, RedVars, RunError, RunStats, SeqSpace, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -241,7 +241,7 @@ impl InferTarget for BarnesHut {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let mut heap = Heap::new();
         let list: AlterList<ObjId> = AlterList::new(&mut heap);
         for b in self.initial_bodies().into_iter().take(64) {
@@ -271,7 +271,7 @@ impl InferTarget for BarnesHut {
                 b[BY] += b[VY] * dt;
             });
         };
-        detect_dependences(&mut heap, &mut SeqSpace::new(nodes), body)
+        summarize_dependences(&mut heap, &mut SeqSpace::new(nodes), body)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

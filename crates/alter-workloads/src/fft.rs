@@ -14,7 +14,7 @@ use crate::common::{rng, uniform_f64s, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -213,7 +213,7 @@ impl InferTarget for Fft {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let input = self.input();
         let mut heap = Heap::new();
         let row_objs: Vec<ObjId> = input
@@ -221,7 +221,7 @@ impl InferTarget for Fft {
             .map(|row| heap.alloc(ObjData::F64(row.clone())))
             .collect();
         let body = self.body(&row_objs);
-        detect_dependences(&mut heap, &mut RangeSpace::new(0, self.rows as u64), body)
+        summarize_dependences(&mut heap, &mut RangeSpace::new(0, self.rows as u64), body)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -22,7 +22,7 @@ use crate::common::{rng, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -175,11 +175,11 @@ impl InferTarget for Floyd {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let mut heap = Heap::new();
         let path = heap.alloc(ObjData::F64(self.edges()));
         let body = self.body(path);
-        detect_dependences(&mut heap, &mut RangeSpace::new(0, self.n as u64), body)
+        summarize_dependences(&mut heap, &mut RangeSpace::new(0, self.n as u64), body)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

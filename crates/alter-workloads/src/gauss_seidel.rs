@@ -28,7 +28,7 @@ use crate::common::{rng, uniform_f64s, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -281,12 +281,12 @@ impl InferTarget for GaussSeidel {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let sys = self.build();
         let mut heap = Heap::new();
         let xvec = heap.alloc(ObjData::zeros_f64(sys.n()));
         let body = self.body(&sys, xvec);
-        detect_dependences(&mut heap, &mut RangeSpace::new(0, sys.n() as u64), body)
+        summarize_dependences(&mut heap, &mut RangeSpace::new(0, sys.n() as u64), body)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

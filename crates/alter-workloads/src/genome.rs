@@ -14,7 +14,7 @@ use alter_collections::AlterHashSet;
 use alter_heap::Heap;
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -126,12 +126,12 @@ impl InferTarget for Genome {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let stream = self.stream();
         let mut heap = Heap::new();
         let set = AlterHashSet::new(&mut heap, self.buckets, self.bucket_cap);
         let body = self.body(&stream, set);
-        detect_dependences(
+        summarize_dependences(
             &mut heap,
             &mut RangeSpace::new(0, stream.len() as u64),
             body,

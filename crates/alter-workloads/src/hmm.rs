@@ -11,7 +11,7 @@ use crate::common::{rng, uniform_f64s, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -171,14 +171,14 @@ impl InferTarget for Hmm {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let (a, b, obs) = self.model();
         let n = self.states;
         let mut heap = Heap::new();
         let cur = heap.alloc(ObjData::F64(vec![1.0 / n as f64; n]));
         let next = heap.alloc(ObjData::zeros_f64(n));
         let body = self.body(&a, &b, obs[0], cur, next);
-        detect_dependences(&mut heap, &mut RangeSpace::new(0, n as u64), body)
+        summarize_dependences(&mut heap, &mut RangeSpace::new(0, n as u64), body)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

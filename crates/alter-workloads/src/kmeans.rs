@@ -33,7 +33,7 @@ use crate::common::{rng, uniform_f64s, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, BoundScalar, DepReport, RangeSpace, RedOp, RedVal, RedVars, RunError,
+    summarize_dependences, BoundScalar, LoopSummary, RangeSpace, RedOp, RedVal, RedVars, RunError,
     RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
@@ -316,7 +316,7 @@ impl InferTarget for KMeans {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let features = self.features();
         let mut heap = Heap::new();
         let mut reds = RedVars::new();
@@ -328,11 +328,13 @@ impl InferTarget for KMeans {
         let delta = BoundScalar::declare(&mut heap, &mut reds, "delta", RedVal::F64(0.0));
         let centers: Vec<Vec<f64>> = features[..self.nclusters].to_vec();
         let body = self.body(&feats, &centers, membership, &accs, delta);
-        detect_dependences(
+        let mut s = summarize_dependences(
             &mut heap,
             &mut RangeSpace::new(0, self.npoints as u64),
             body,
-        )
+        );
+        s.label("delta", delta.object());
+        s
     }
 
     fn reduction_candidates(&self) -> Vec<String> {

@@ -13,7 +13,7 @@ use alter_collections::AlterVec;
 use alter_heap::Heap;
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 use std::collections::VecDeque;
@@ -217,12 +217,12 @@ impl InferTarget for Labyrinth {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let requests = self.requests();
         let mut heap = Heap::new();
         let grid: AlterVec<i64> = AlterVec::new(&mut heap, self.width * self.height * self.depth);
         let body = self.body(&requests, grid);
-        detect_dependences(
+        summarize_dependences(
             &mut heap,
             &mut RangeSpace::new(0, requests.len() as u64),
             body,

@@ -19,7 +19,7 @@ use crate::common::{rng, uniform_f64s, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, BoundScalar, DepReport, RangeSpace, RedOp, RedVal, RedVars, RunError,
+    summarize_dependences, BoundScalar, LoopSummary, RangeSpace, RedOp, RedVal, RedVars, RunError,
     RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
@@ -241,7 +241,7 @@ impl InferTarget for Sg3d {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let f = self.source();
         let cells = self.interior();
         let mut heap = Heap::new();
@@ -249,7 +249,10 @@ impl InferTarget for Sg3d {
         let grid = heap.alloc(ObjData::zeros_f64(self.n * self.n * self.n));
         let err = BoundScalar::declare(&mut heap, &mut reds, "err", RedVal::F64(0.0));
         let body = self.body(&f, &cells, grid, err);
-        detect_dependences(&mut heap, &mut RangeSpace::new(0, cells.len() as u64), body)
+        let mut s =
+            summarize_dependences(&mut heap, &mut RangeSpace::new(0, cells.len() as u64), body);
+        s.label("err", err.object());
+        s
     }
 
     fn reduction_candidates(&self) -> Vec<String> {

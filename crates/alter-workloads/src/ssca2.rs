@@ -14,7 +14,7 @@ use crate::common::{rng, Benchmark, Scale};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
-    detect_dependences, DepReport, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
+    summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
 };
 use alter_sim::{CostModel, SimClock, SimObserver};
 
@@ -165,14 +165,14 @@ impl InferTarget for Ssca2 {
         })
     }
 
-    fn probe_dependences(&self) -> DepReport {
+    fn probe_summary(&self) -> LoopSummary {
         let edges = self.edge_list();
         let mut heap = Heap::new();
         let adj: Vec<ObjId> = (0..self.vertices)
             .map(|_| heap.alloc(ObjData::zeros_i64(SLOTS + self.cap)))
             .collect();
         let body = self.body(&edges, &adj);
-        detect_dependences(&mut heap, &mut RangeSpace::new(0, edges.len() as u64), body)
+        summarize_dependences(&mut heap, &mut RangeSpace::new(0, edges.len() as u64), body)
     }
 }
 

@@ -18,6 +18,19 @@ cargo build --release
 echo "== test (workspace) =="
 cargo test --workspace --quiet
 
+echo "== alter-lint (isolation sanitizer over all 12 canonical traces) =="
+# Records each workload's best-configuration trace with full task_sets
+# payloads, replays it through the sanitizer (any isolation-invariant
+# violation is a hard failure), and regenerates the static analyzer's
+# verdict baseline for the drift check below.
+cargo run --release -q -p alter-bench --bin alter-lint -- --analysis ANALYSIS.json
+if [[ -n "$(git status --porcelain -- ANALYSIS.json)" ]]; then
+  echo "error: ANALYSIS.json drifted — the analyzer's dependence/annotation"
+  echo "verdicts changed; inspect the diff and re-commit if intended."
+  git --no-pager diff -- ANALYSIS.json
+  exit 1
+fi
+
 echo "== bench smoke (deterministic A/B counters) =="
 scripts/bench.sh --smoke
 # `git status --porcelain` (not `git diff --quiet`) so a deleted or

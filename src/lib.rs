@@ -12,6 +12,9 @@
 //!   classes whose iterators act as induction variables.
 //! * [`sim`] — deterministic virtual-time multicore simulator (substitute
 //!   for the paper's 8-core Xeon; see DESIGN.md).
+//! * [`analyze`] — dependence/annotation soundness analyzer: breakability
+//!   classification, annotation linting, inference pruning verdicts, and
+//!   the trace isolation sanitizer behind `alter-lint`.
 //! * [`infer`] — test-driven annotation inference.
 //! * [`workloads`] — the 12 evaluation loops from the paper.
 //!
@@ -38,6 +41,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use alter_analyze as analyze;
 pub use alter_collections as collections;
 pub use alter_heap as heap;
 pub use alter_infer as infer;

@@ -1,0 +1,288 @@
+//! Cross-validation of the static analyzer (`alter-analyze`) against the
+//! observed behaviour of all 12 workloads:
+//!
+//! * pruning identity — inference with the analyzer enabled selects the
+//!   identical annotations as the paper's exhaustive search, in strictly
+//!   fewer probes wherever anything was pruned, and a must-fail verdict
+//!   never contradicts an observed probe pass;
+//! * determinism — summaries, classifier verdicts, and the linter's
+//!   canonical JSON are byte-identical across runs;
+//! * sanitizer — every workload's canonical best-configuration trace
+//!   passes the isolation sanitizer, and deliberately corrupted traces
+//!   (reordered verdicts, overlapping committed write-sets) are rejected.
+
+use alter::analyze::{
+    diagnostics_json, lint, predict, sanitize, AnalyzeConfig, LintTarget, SanitizeConfig, Severity,
+};
+use alter::infer::{infer, InferConfig, InferReport, Model, Outcome};
+use alter::runtime::Annotation;
+use alter::trace::{Event, Recorder, RingRecorder};
+use alter::workloads::{all_benchmarks, Benchmark, Scale};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The lint target for a workload's paper-chosen best configuration.
+fn best_target(bench: &dyn Benchmark) -> LintTarget {
+    let (model, reduction) = bench.best_config();
+    match model {
+        Model::Doall => LintTarget::Doall,
+        Model::Tls => LintTarget::Tls,
+        Model::OutOfOrder | Model::StaleReads => {
+            let ann = match reduction {
+                None => format!("[{model}]"),
+                Some((var, op)) => format!("[{model} + Reduction({var}, {op})]"),
+            };
+            let ann: Annotation = ann.parse().expect("best config parses");
+            LintTarget::Annotated(ann)
+        }
+    }
+}
+
+/// Observed outcomes of the exhaustive (no-pruning) report, keyed by the
+/// probe-description strings `PrunedCandidate.annotation` uses.
+fn observed_outcomes(report: &InferReport) -> HashMap<String, Outcome> {
+    let mut map = HashMap::new();
+    map.insert("TLS".to_owned(), report.tls.clone());
+    map.insert("OutOfOrder".to_owned(), report.out_of_order.clone());
+    map.insert("StaleReads".to_owned(), report.stale_reads.clone());
+    for r in &report.reductions {
+        map.insert(
+            format!("{} + Reduction({}, {})", r.model, r.var, r.op),
+            r.outcome.clone(),
+        );
+    }
+    map
+}
+
+/// The acceptance criterion of the analyzer: on every workload, pruning
+/// changes the cost of inference but never its answer, and nothing the
+/// analyzer prunes is observed to succeed when actually run.
+#[test]
+fn pruning_preserves_the_inferred_annotations_on_all_workloads() {
+    let pruned_cfg = InferConfig::default();
+    assert!(pruned_cfg.prune, "pruning is the default");
+    let exhaustive_cfg = InferConfig {
+        prune: false,
+        ..InferConfig::default()
+    };
+    let mut workloads_with_pruning = 0usize;
+    for b in all_benchmarks(Scale::Inference) {
+        let name = b.name().to_owned();
+        let pruned = infer(b.as_ref(), &pruned_cfg);
+        let exhaustive = infer(b.as_ref(), &exhaustive_cfg);
+
+        // Identity: the same annotations are reported valid either way.
+        assert_eq!(
+            pruned.valid_annotations, exhaustive.valid_annotations,
+            "{name}: pruning changed the inferred annotations"
+        );
+        assert_eq!(
+            pruned.reduction_cell(),
+            exhaustive.reduction_cell(),
+            "{name}"
+        );
+        assert_eq!(pruned.dep, exhaustive.dep, "{name}");
+        assert!(exhaustive.pruned_candidates.is_empty(), "{name}");
+
+        // Cost: strictly fewer probes exactly when something was pruned.
+        if pruned.pruned_candidates.is_empty() {
+            assert_eq!(pruned.probes_run, exhaustive.probes_run, "{name}");
+        } else {
+            assert!(
+                pruned.probes_run < exhaustive.probes_run,
+                "{name}: {} pruned candidates but {} vs {} probes",
+                pruned.pruned_candidates.len(),
+                pruned.probes_run,
+                exhaustive.probes_run
+            );
+            workloads_with_pruning += 1;
+        }
+
+        // Soundness: a must-fail verdict never contradicts an observed
+        // pass — every pruned candidate fails when actually run.
+        let observed = observed_outcomes(&exhaustive);
+        for pc in &pruned.pruned_candidates {
+            let o = observed.get(&pc.annotation).unwrap_or_else(|| {
+                panic!(
+                    "{name}: pruned candidate {} not in the exhaustive report",
+                    pc.annotation
+                )
+            });
+            assert!(
+                !o.is_success(),
+                "{name}: {} was pruned ({}) but succeeds when run",
+                pc.annotation,
+                pc.reason
+            );
+        }
+    }
+    assert!(
+        workloads_with_pruning >= 4,
+        "analyzer proved failures on only {workloads_with_pruning} of 12 workloads"
+    );
+}
+
+/// Summaries, verdicts, and the linter's canonical JSON are pure functions
+/// of the workload: byte-identical across independent runs.
+#[test]
+fn analyzer_diagnostics_are_deterministic_on_all_workloads() {
+    let icfg = InferConfig::default();
+    for b in all_benchmarks(Scale::Inference) {
+        let name = b.name().to_owned();
+        let s1 = b.probe_summary();
+        let s2 = b.probe_summary();
+        assert_eq!(s1, s2, "{name}: summary replay is not deterministic");
+
+        let acfg = AnalyzeConfig {
+            workers: icfg.workers,
+            chunk: icfg.chunk,
+            high_conflict_threshold: icfg.high_conflict_threshold,
+            budget_words: b.tracked_budget_words().unwrap_or(icfg.budget_words),
+            ..AnalyzeConfig::default()
+        };
+        for model in Model::TABLE3 {
+            let p = model.exec_params(icfg.workers, icfg.chunk);
+            assert_eq!(
+                predict(&s1, p.conflict, p.order, &[], &acfg),
+                predict(&s2, p.conflict, p.order, &[], &acfg),
+                "{name}/{model}: verdict is not deterministic"
+            );
+        }
+
+        let target = best_target(b.as_ref());
+        let json1 = diagnostics_json(&lint(&s1, &target));
+        let json2 = diagnostics_json(&lint(&s2, &target));
+        assert_eq!(json1, json2, "{name}: linter JSON is not byte-stable");
+
+        // The paper's chosen annotation is sound on its own workload: the
+        // linter must not flag an error for it (warnings — e.g. pervasive
+        // WAW retries the paper resolves by testing — are fine).
+        let diags = lint(&s1, &target);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "{name}: best config {target} flagged unsound: {:?}",
+            diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Records the workload's best-configuration run with full `task_sets`
+/// payloads — the canonical trace `alter-lint` audits.
+fn canonical_trace(bench: &dyn Benchmark) -> (Vec<Event>, SanitizeConfig) {
+    let rec = Arc::new(RingRecorder::new(1 << 20));
+    let mut probe = bench.best_probe(4);
+    probe.record_sets = true;
+    probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    bench
+        .run_probe(&probe)
+        .unwrap_or_else(|e| panic!("{} best config aborted: {e}", bench.name()));
+    assert_eq!(rec.dropped(), 0, "{}: ring too small", bench.name());
+    let params = probe.model.exec_params(probe.workers, probe.chunk);
+    (
+        rec.events(),
+        SanitizeConfig {
+            conflict: params.conflict,
+            order: params.order,
+        },
+    )
+}
+
+/// Every workload's canonical trace satisfies the isolation invariants.
+#[test]
+fn sanitizer_passes_every_workload_canonical_trace() {
+    for b in all_benchmarks(Scale::Inference) {
+        let (events, cfg) = canonical_trace(b.as_ref());
+        assert!(!events.is_empty(), "{}: empty trace", b.name());
+        let violations = sanitize(&events, &cfg);
+        assert!(
+            violations.is_empty(),
+            "{}: {} isolation violation(s), first: {}",
+            b.name(),
+            violations.len(),
+            violations[0]
+        );
+    }
+}
+
+/// Event indices of the verdicts (`validate_ok`) inside each round of a
+/// trace, used to build seeded corruptions below.
+fn rounds_of_validate_oks(events: &[Event]) -> Vec<Vec<usize>> {
+    let mut rounds: Vec<Vec<usize>> = Vec::new();
+    for (idx, ev) in events.iter().enumerate() {
+        match ev {
+            Event::RoundStart { .. } => rounds.push(Vec::new()),
+            Event::ValidateOk { .. } => {
+                if let Some(r) = rounds.last_mut() {
+                    r.push(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+    rounds
+}
+
+/// A deliberately corrupted real trace — the verdicts of two tasks in one
+/// round swapped, breaking the deterministic ascending commit order — must
+/// be rejected.
+#[test]
+fn reordered_commit_order_is_rejected() {
+    // Genome under [StaleReads] at 4 workers: plenty of multi-commit
+    // rounds.
+    let b = &all_benchmarks(Scale::Inference)[0];
+    let (mut events, cfg) = canonical_trace(b.as_ref());
+    let round = rounds_of_validate_oks(&events)
+        .into_iter()
+        .find(|r| r.len() >= 2)
+        .expect("a round with two commits");
+    events.swap(round[0], round[1]);
+    let violations = sanitize(&events, &cfg);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.message.contains("validation order must ascend")),
+        "swapped verdicts not caught: {violations:?}"
+    );
+}
+
+/// A corrupted trace where one committed task's recorded write set is
+/// overwritten with another committed task's — overlapping write sets
+/// under StaleReads — must be rejected.
+#[test]
+fn overlapping_committed_write_sets_are_rejected() {
+    let b = &all_benchmarks(Scale::Inference)[0];
+    let (mut events, cfg) = canonical_trace(b.as_ref());
+    // Find a round with two validate_oks and copy the first committer's
+    // write set over the second's.
+    let round = rounds_of_validate_oks(&events)
+        .into_iter()
+        .find(|r| r.len() >= 2)
+        .expect("a round with two commits");
+    let first_writes = events[..round[0]]
+        .iter()
+        .rev()
+        .find_map(|ev| match ev {
+            Event::TaskSets { writes, .. } if !writes.is_empty() => Some(writes.clone()),
+            _ => None,
+        })
+        .expect("recorded sets for the first committer");
+    let second_sets = events[..round[1]]
+        .iter()
+        .rposition(|ev| matches!(ev, Event::TaskSets { .. }))
+        .expect("recorded sets for the second committer");
+    match &mut events[second_sets] {
+        Event::TaskSets { writes, .. } => *writes = first_writes,
+        _ => unreachable!(),
+    }
+    let violations = sanitize(&events, &cfg);
+    assert!(
+        violations.iter().any(|v| {
+            v.message.contains("committed write sets overlap")
+                || v.message.contains("validated ok but its sets conflict")
+        }),
+        "overlapping write sets not caught: {violations:?}"
+    );
+}
