@@ -358,7 +358,9 @@ pub fn sanitize(events: &[Event], cfg: &SanitizeConfig) -> Vec<Violation> {
                 pending = None;
                 in_run = false;
             }
-            Event::ProbeStart { .. } | Event::ProbeOutcome { .. } => {}
+            // Phase-profile entries land after a round's verdicts and carry
+            // no isolation evidence; probe brackets are outside rounds.
+            Event::PhaseProfile { .. } | Event::ProbeStart { .. } | Event::ProbeOutcome { .. } => {}
             Event::RunEnd {
                 rounds,
                 attempts,

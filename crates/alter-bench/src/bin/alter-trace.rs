@@ -15,8 +15,10 @@
 //! JSONL transcripts are byte-identical.
 
 use alter_infer::{Model, Probe};
-use alter_trace::{format_hash, to_jsonl, trace_hash, Event, Metrics, Recorder, RingRecorder};
-use alter_workloads::{all_benchmarks, Benchmark, Scale};
+use alter_trace::{
+    format_hash, to_jsonl, trace_hash, Event, Metrics, Profile, Recorder, RingRecorder, WallProfile,
+};
+use alter_workloads::{all_benchmarks, find_benchmark, Benchmark, Scale};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -32,6 +34,10 @@ flags:
   --chunk N    chunk factor                       (default: tuned cf)
   --jsonl      dump the raw JSONL event stream instead of the timeline
   --twice      run the probe twice and verify byte-identical traces
+  --profile    enable the deterministic phase profiler (per-round
+               phase_profile events) and print the sorted hotspot table;
+               set ALTER_PROFILE_WALL=1 for an informational wall-clock
+               column (never part of the trace or its hash)
   --no-fast-validation
                disable the fingerprint validation fast path (A/B runs;
                the trace hash is identical either way)
@@ -98,31 +104,6 @@ fn list_workloads() {
     }
 }
 
-/// Case-insensitive workload lookup, ignoring `-`/`_` so `k-means`,
-/// `kmeans` and `K-means` all resolve.
-fn find_benchmark(name: &str) -> Option<Box<dyn Benchmark>> {
-    let norm = |s: &str| {
-        s.chars()
-            .filter(|c| *c != '-' && *c != '_')
-            .flat_map(char::to_lowercase)
-            .collect::<String>()
-    };
-    let want = norm(name);
-    all_benchmarks(Scale::Inference)
-        .into_iter()
-        .find(|b| norm(b.name()) == want)
-}
-
-fn parse_model(s: &str) -> Option<Model> {
-    match s.to_ascii_lowercase().as_str() {
-        "tls" => Some(Model::Tls),
-        "outoforder" | "ooo" => Some(Model::OutOfOrder),
-        "stalereads" | "stale" => Some(Model::StaleReads),
-        "doall" => Some(Model::Doall),
-        _ => None,
-    }
-}
-
 /// Runs `probe` against `bench` with a fresh ring recorder and returns the
 /// captured events, the run verdict line, and the runtime's out-of-band
 /// perf counters: the validation fast-path quartet `[fingerprint_hits,
@@ -182,6 +163,7 @@ fn main() -> ExitCode {
     let mut chunk = None;
     let mut jsonl = false;
     let mut twice = false;
+    let mut profile = false;
     let mut fast_validation = true;
     let mut incremental_snapshots = true;
     let mut worker_pool = true;
@@ -203,6 +185,7 @@ fn main() -> ExitCode {
             }
             "--jsonl" => jsonl = true,
             "--twice" => twice = true,
+            "--profile" => profile = true,
             "--no-fast-validation" => fast_validation = false,
             "--no-incremental-snapshots" => incremental_snapshots = false,
             "--no-worker-pool" => worker_pool = false,
@@ -242,7 +225,7 @@ fn main() -> ExitCode {
     let mut probe = if annotation.eq_ignore_ascii_case("best") {
         bench.best_probe(workers)
     } else {
-        let Some(model) = parse_model(&annotation) else {
+        let Some(model) = Model::parse_token(&annotation) else {
             eprintln!("error: unknown annotation `{annotation}` (tls | outoforder | stalereads | doall | best)");
             return ExitCode::FAILURE;
         };
@@ -255,6 +238,10 @@ fn main() -> ExitCode {
     probe.incremental_snapshots = incremental_snapshots;
     probe.worker_pool = worker_pool;
     probe.threaded = threaded;
+    probe.profile_phases = profile;
+    let wall = (profile && std::env::var("ALTER_PROFILE_WALL").is_ok_and(|v| v == "1"))
+        .then(|| Arc::new(WallProfile::new()));
+    probe.wall_profile = wall.clone();
 
     let mut notes = Vec::new();
     if !fast_validation {
@@ -297,6 +284,15 @@ fn main() -> ExitCode {
     metrics.record_round_counters(counters[4], counters[5], counters[6]);
     print!("{}", metrics.render());
     println!();
+    if profile {
+        // Same aggregation the `alter-replay profile` subcommand uses.
+        let secs = wall.as_ref().map(|w| w.seconds());
+        print!(
+            "{}",
+            Profile::from_events(&events).render(bench.name(), secs.as_ref())
+        );
+        println!();
+    }
     let hash = trace_hash(&events);
     println!("trace hash: {}", format_hash(hash));
 

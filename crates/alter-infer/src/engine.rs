@@ -10,7 +10,8 @@ use crate::outcome::Outcome;
 use crate::target::{InferTarget, Model, Probe, ProgramOutput};
 use alter_analyze::{predict, AnalyzeConfig, Verdict};
 use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError, WorkerPool};
-use alter_trace::{Event, Recorder};
+use alter_trace::{Event, Phase, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tunables of the inference engine, with the paper's defaults.
@@ -46,6 +47,12 @@ pub struct InferConfig {
     /// [`InferReport::pruned_candidates`]. Off re-enables the paper's
     /// exhaustive search, for A/B comparison.
     pub prune: bool,
+    /// Emit phase-profile events (off by default). Each probe's engine run
+    /// emits per-round phase costs, and the inference driver adds one
+    /// `infer_probe` entry per executed probe (its total cost units, keyed
+    /// by probe index), so a profiled inference trace attributes cost to
+    /// the search itself as well as to the engine phases within it.
+    pub profile_phases: bool,
 }
 
 impl std::fmt::Debug for InferConfig {
@@ -59,6 +66,7 @@ impl std::fmt::Debug for InferConfig {
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
             .field("concurrent_probes", &self.concurrent_probes)
             .field("prune", &self.prune)
+            .field("profile_phases", &self.profile_phases)
             .finish()
     }
 }
@@ -74,6 +82,7 @@ impl Default for InferConfig {
             recorder: None,
             concurrent_probes: true,
             prune: true,
+            profile_phases: false,
         }
     }
 }
@@ -192,7 +201,12 @@ fn probe_outcome(
     reference: &ProgramOutput,
     probe: &Probe,
     cfg: &InferConfig,
+    probe_index: &AtomicU64,
 ) -> Outcome {
+    // Every executed probe consumes one index, recording or not, so the
+    // numbering matches "probes run" whenever emission happens (recording
+    // forces the serial schedule, so the order is deterministic too).
+    let index = probe_index.fetch_add(1, Ordering::Relaxed);
     let rec = cfg.recorder.as_deref().filter(|r| r.is_enabled());
     if let Some(rec) = rec {
         rec.record(Event::ProbeStart {
@@ -200,8 +214,16 @@ fn probe_outcome(
         });
     }
     let result = quiet_panics(|| target.run_probe(probe));
+    let probe_cost = result.as_ref().map_or(0, |run| run.stats.cost_units());
     let outcome = classify(target, reference, result, cfg);
     if let Some(rec) = rec {
+        if cfg.profile_phases {
+            rec.record(Event::PhaseProfile {
+                round: index,
+                phase: Phase::InferProbe,
+                cost: probe_cost,
+            });
+        }
         rec.record(Event::ProbeOutcome {
             annotation: probe.describe(),
             outcome: outcome.short().to_owned(),
@@ -235,6 +257,7 @@ fn run_probes(
     reference: &ProgramOutput,
     probes: &[Probe],
     cfg: &InferConfig,
+    probe_index: &AtomicU64,
 ) -> Vec<Outcome> {
     let serial = !cfg.concurrent_probes
         || probes.len() <= 1
@@ -242,10 +265,12 @@ fn run_probes(
     if serial {
         return probes
             .iter()
-            .map(|p| probe_outcome(target, reference, p, cfg))
+            .map(|p| probe_outcome(target, reference, p, cfg, probe_index))
             .collect();
     }
-    let run_one = |_worker: usize, idx: usize| probe_outcome(target, reference, &probes[idx], cfg);
+    let run_one = |_worker: usize, idx: usize| {
+        probe_outcome(target, reference, &probes[idx], cfg, probe_index)
+    };
     std::thread::scope(|scope| {
         let mut pool = WorkerPool::new(scope, cfg.workers, &run_one);
         let indices: Vec<usize> = (0..probes.len()).collect();
@@ -268,6 +293,7 @@ fn resolve_batch(
     cfg: &InferConfig,
     probes_run: &mut u64,
     pruned: &mut Vec<PrunedCandidate>,
+    probe_index: &AtomicU64,
 ) -> Vec<Outcome> {
     let live: Vec<Probe> = planned
         .iter()
@@ -275,7 +301,7 @@ fn resolve_batch(
         .map(|(p, _)| p.clone())
         .collect();
     *probes_run += live.len() as u64;
-    let mut live_outcomes = run_probes(target, reference, &live, cfg).into_iter();
+    let mut live_outcomes = run_probes(target, reference, &live, cfg, probe_index).into_iter();
     planned
         .iter()
         .map(|(probe, verdict)| {
@@ -347,12 +373,14 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
     };
     let mut probes_run: u64 = 0;
     let mut pruned_candidates: Vec<PrunedCandidate> = Vec::new();
+    let probe_index = AtomicU64::new(0);
     let make_probe = |model: Model, reduction: Option<(String, RedOp)>| {
         let mut probe = Probe::new(model, cfg.workers, cfg.chunk);
         probe.reduction = reduction;
         probe.budget_words = budget_words;
         probe.work_budget = Some(work_budget);
         probe.recorder = cfg.recorder.clone();
+        probe.profile_phases = cfg.profile_phases;
         probe
     };
 
@@ -367,6 +395,7 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         cfg,
         &mut probes_run,
         &mut pruned_candidates,
+        &probe_index,
     )
     .into_iter();
     let tls = model_outcomes.next().expect("three model probes");
@@ -404,6 +433,7 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
             cfg,
             &mut probes_run,
             &mut pruned_candidates,
+            &probe_index,
         );
         for (((model, var, op), (probe, _)), outcome) in
             red_meta.into_iter().zip(&red_probes).zip(outcomes)

@@ -28,6 +28,20 @@ impl Model {
     /// The three models reported in Table 3, in column order.
     pub const TABLE3: [Model; 3] = [Model::Tls, Model::OutOfOrder, Model::StaleReads];
 
+    /// Parses a CLI/journal annotation token (`tls`, `outoforder`/`ooo`,
+    /// `stalereads`/`stale`, `doall`), case-insensitively. The trace CLIs
+    /// and the journal replay driver share this so recorded annotations
+    /// round-trip.
+    pub fn parse_token(s: &str) -> Option<Model> {
+        match s.to_ascii_lowercase().as_str() {
+            "tls" => Some(Model::Tls),
+            "outoforder" | "ooo" => Some(Model::OutOfOrder),
+            "stalereads" | "stale" => Some(Model::StaleReads),
+            "doall" => Some(Model::Doall),
+            _ => None,
+        }
+    }
+
     /// Base parameters for this model (Theorems 4.1–4.4).
     pub fn exec_params(self, workers: usize, chunk: usize) -> ExecParams {
         match self {
@@ -97,6 +111,14 @@ pub struct Probe {
     /// Off by default: the payloads are large and recorded traces stay
     /// byte-identical to previous releases unless asked for.
     pub record_sets: bool,
+    /// Whether the engine emits per-round `phase_profile` cost-unit events
+    /// (the deterministic phase profiler). Off by default, for the same
+    /// reason as `record_sets`: recorded traces stay byte-identical unless
+    /// a profiling consumer opts in.
+    pub profile_phases: bool,
+    /// Wall-clock phase accumulator forwarded to the engine (informational
+    /// mirror of the cost-unit profiler; never recorded in traces).
+    pub wall_profile: Option<Arc<alter_trace::WallProfile>>,
 }
 
 impl std::fmt::Debug for Probe {
@@ -114,6 +136,8 @@ impl std::fmt::Debug for Probe {
             .field("worker_pool", &self.worker_pool)
             .field("incremental_snapshots", &self.incremental_snapshots)
             .field("record_sets", &self.record_sets)
+            .field("profile_phases", &self.profile_phases)
+            .field("wall_profile", &self.wall_profile.is_some())
             .finish()
     }
 }
@@ -135,6 +159,8 @@ impl Probe {
             worker_pool: true,
             incremental_snapshots: true,
             record_sets: false,
+            profile_phases: false,
+            wall_profile: None,
         }
     }
 
@@ -167,6 +193,8 @@ impl Probe {
         p.worker_pool = self.worker_pool;
         p.incremental_snapshots = self.incremental_snapshots;
         p.record_sets = self.record_sets;
+        p.profile_phases = self.profile_phases;
+        p.wall_profile = self.wall_profile.clone();
         if let Some((name, op)) = &self.reduction {
             let var = reds
                 .lookup(name)
@@ -338,6 +366,15 @@ mod tests {
         assert_eq!(p.work_budget, Some(1000));
         assert_eq!(probe.describe(), "StaleReads + Reduction(delta, +)");
         assert_eq!(Probe::new(Model::Tls, 2, 4).describe(), "TLS");
+    }
+
+    #[test]
+    fn parse_token_accepts_cli_spellings() {
+        assert_eq!(Model::parse_token("TLS"), Some(Model::Tls));
+        assert_eq!(Model::parse_token("ooo"), Some(Model::OutOfOrder));
+        assert_eq!(Model::parse_token("stale"), Some(Model::StaleReads));
+        assert_eq!(Model::parse_token("doall"), Some(Model::Doall));
+        assert_eq!(Model::parse_token("best"), None);
     }
 
     #[test]

@@ -31,10 +31,11 @@ use alter_heap::{
     AccessSet, CommitOps, Heap, IdReservation, MemoryExceeded, ObjId, Snapshot, SnapshotStats,
     TrackMode, Tx, TxBufferPool, TxBuffers, TxEffects, TxStats,
 };
-use alter_trace::{ConflictKind, Event, Recorder};
+use alter_trace::{ConflictKind, Event, Phase, Recorder};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a loop execution was aborted.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,6 +76,57 @@ impl fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+/// Deterministic cost units charged to each engine phase of a run — the
+/// phase profiler's ledger. Every quantity is trace-stable (snapshot slot
+/// counts, transaction cost units, the legacy validate-words accounting,
+/// committed write/alloc words), so phase costs are identical across drive
+/// modes and across the fast-path/incremental A/B knobs, and a run's
+/// `PhaseProfile` events are a pure function of program + annotation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCosts {
+    /// Snapshot establishment: one slot-table entry per round per slot
+    /// (the trace's `RoundStart.snapshot_slots` figure, independent of the
+    /// incremental-snapshot knob).
+    pub snapshot: u64,
+    /// Transaction execution: declared work plus instrumented words moved,
+    /// summed over all attempts.
+    pub execute: u64,
+    /// Conflict validation under the legacy per-earlier-writer accounting
+    /// (the trace's `ValidateOk.validate_words` figure, independent of the
+    /// fast-validation knob).
+    pub validate: u64,
+    /// Commit: words merged back into the heap plus words of fresh
+    /// allocations published.
+    pub commit: u64,
+}
+
+impl PhaseCosts {
+    /// Total cost units across the four engine phases.
+    pub fn total(&self) -> u64 {
+        self.snapshot + self.execute + self.validate + self.commit
+    }
+
+    /// Accumulates another run's phase costs.
+    pub fn add(&mut self, other: &PhaseCosts) {
+        self.snapshot += other.snapshot;
+        self.execute += other.execute;
+        self.validate += other.validate;
+        self.commit += other.commit;
+    }
+
+    /// The cost charged to one engine phase (`InferProbe` is the
+    /// inference driver's phase, never charged by the engine itself).
+    pub fn cost(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Snapshot => self.snapshot,
+            Phase::Execute => self.execute,
+            Phase::Validate => self.validate,
+            Phase::Commit => self.commit,
+            Phase::InferProbe => 0,
+        }
+    }
+}
 
 /// Aggregate statistics of one loop execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -131,6 +183,9 @@ pub struct RunStats {
     /// zero under the sequential and per-round-scope drivers); comparisons
     /// across drivers must mask it out.
     pub pool_round_handoffs: u64,
+    /// Deterministic cost units charged to each engine phase (the phase
+    /// profiler's ledger; identical across drive modes and A/B knobs).
+    pub phase_costs: PhaseCosts,
 }
 
 impl RunStats {
@@ -183,6 +238,7 @@ impl RunStats {
         self.snapshot_slots_copied += other.snapshot_slots_copied;
         self.snapshot_pages_reused += other.snapshot_pages_reused;
         self.pool_round_handoffs += other.pool_round_handoffs;
+        self.phase_costs.add(&other.phase_costs);
     }
 
     /// These statistics with [`RunStats::pool_round_handoffs`] — the one
@@ -581,6 +637,10 @@ fn run_rounds(
     // Resolve the recorder once: `None` here means every emission site below
     // is one predicted-not-taken branch and constructs nothing.
     let rec: Option<&dyn Recorder> = params.recorder.as_deref().filter(|r| r.is_enabled());
+    // Wall-clock phase mirror: `None` (the default) means no `Instant` is
+    // ever taken; the deterministic cost-unit accounting below runs either
+    // way and never reads the clock.
+    let wall = params.wall_profile.as_deref();
     let mut stats = RunStats::default();
     let mut pending: VecDeque<PendingTask> = VecDeque::new();
     let mut next_seq: u64 = 0;
@@ -622,6 +682,7 @@ fn run_rounds(
         // Establish the round snapshot. Incrementally patching the heap's
         // persistent page table yields a bit-identical view; only the
         // construction-cost counters can tell the two paths apart.
+        let wall_t = wall.map(|_| Instant::now());
         let (snap, snap_stats) = if params.incremental_snapshots {
             heap.snapshot_incremental()
         } else {
@@ -632,8 +693,19 @@ fn run_rounds(
             };
             (snap, full)
         };
+        if let (Some(w), Some(t)) = (wall, wall_t) {
+            w.add(Phase::Snapshot, t.elapsed().as_secs_f64());
+        }
         stats.snapshot_slots_copied += snap_stats.slots_copied;
         stats.snapshot_pages_reused += snap_stats.pages_reused;
+        // Phase ledger for this round. Snapshot cost is the trace's
+        // `snapshot_slots` figure (one charge per slot in the round's view),
+        // deliberately not `slots_copied`, which varies with the
+        // incremental-snapshot knob.
+        let round_snapshot = snap.slot_count() as u64;
+        let mut round_execute: u64 = 0;
+        let mut round_validate: u64 = 0;
+        let mut round_commit: u64 = 0;
         let base = heap.high_water();
         if let Some(rec) = rec {
             rec.record(Event::RoundStart {
@@ -650,7 +722,11 @@ fn run_rounds(
             }
         }
         let bufs: Vec<TxBuffers> = tasks.iter().map(|_| pool.acquire()).collect();
+        let wall_t = wall.map(|_| Instant::now());
         let results = exec(&snap, tasks, bufs, base, reds);
+        if let (Some(w), Some(t)) = (wall, wall_t) {
+            w.add(Phase::Execute, t.elapsed().as_secs_f64());
+        }
 
         // Validate and commit in deterministic task order. Each committed
         // write set is remembered with its owner's sequence number so a
@@ -685,12 +761,15 @@ fn run_rounds(
 
             stats.attempts += 1;
             stats.tx_stats.add(&effects.stats);
+            round_execute +=
+                effects.stats.work + effects.stats.read_words + effects.stats.write_words;
             let tracked = effects.reads.words() + effects.writes.words();
             stats.tracked_words += tracked;
             stats.max_tracked_words = stats.max_tracked_words.max(tracked);
 
             let mut validate_words = 0;
             let mut conflict: Option<ConflictDetail> = None;
+            let wall_t = wall.map(|_| Instant::now());
             if !squash && params.fast_validation {
                 // Fast path: one fingerprint test against the union of the
                 // round's committed write sets. A reject proves disjointness
@@ -762,7 +841,11 @@ fn run_rounds(
                     }
                 }
             }
+            if let (Some(w), Some(t)) = (wall, wall_t) {
+                w.add(Phase::Validate, t.elapsed().as_secs_f64());
+            }
             stats.validate_words += validate_words;
+            round_validate += validate_words;
 
             let mut report = TaskReport {
                 seq: task.seq,
@@ -833,6 +916,8 @@ fn run_rounds(
                 report.committed = true;
                 stats.committed += 1;
                 stats.iterations += task.iters.len() as u64;
+                round_commit += report.write_words + report.alloc_words;
+                let wall_t = wall.map(|_| Instant::now());
                 if let Some(rec) = rec {
                     rec.record(Event::ValidateOk {
                         seq: task.seq,
@@ -889,8 +974,36 @@ fn run_rounds(
                     reads: std::mem::take(&mut effects.reads),
                     writes: std::mem::take(&mut effects.writes),
                 });
+                if let (Some(w), Some(t)) = (wall, wall_t) {
+                    w.add(Phase::Commit, t.elapsed().as_secs_f64());
+                }
             }
             reports.push(report);
+        }
+
+        // Close the round's phase ledger: fold it into the run statistics
+        // (always — the adds are free and drive-invariant) and, for opted-in
+        // profiling consumers, emit one `PhaseProfile` event per phase after
+        // the round's task events.
+        stats.phase_costs.snapshot += round_snapshot;
+        stats.phase_costs.execute += round_execute;
+        stats.phase_costs.validate += round_validate;
+        stats.phase_costs.commit += round_commit;
+        if params.profile_phases {
+            if let Some(rec) = rec {
+                for (phase, cost) in [
+                    (Phase::Snapshot, round_snapshot),
+                    (Phase::Execute, round_execute),
+                    (Phase::Validate, round_validate),
+                    (Phase::Commit, round_commit),
+                ] {
+                    rec.record(Event::PhaseProfile {
+                        round: stats.rounds,
+                        phase,
+                        cost,
+                    });
+                }
+            }
         }
 
         // The round's write log is only meaningful within the round (earlier

@@ -53,6 +53,7 @@ mod params;
 mod pool;
 pub mod quiet;
 mod reduction;
+pub mod replay;
 mod space;
 mod var;
 
@@ -63,11 +64,13 @@ pub use dep::{
     LocationStats, LoopSummary,
 };
 pub use engine::{
-    ConflictDetail, NullObserver, RoundObserver, RoundReport, RunError, RunStats, TaskReport,
+    ConflictDetail, NullObserver, PhaseCosts, RoundObserver, RoundReport, RunError, RunStats,
+    TaskReport,
 };
 pub use executor::{run_loop, run_loop_observed, Driver, LoopBuilder};
 pub use params::{CommitOrder, ConflictPolicy, ExecParams};
 pub use pool::WorkerPool;
 pub use reduction::{RedDelta, RedLocals, RedVal, RedVarId, RedVars};
+pub use replay::{diverge_bisect, Divergence, ReplayOutcome, SetDelta};
 pub use space::{IterSpace, RangeSpace, SeqSpace};
 pub use var::BoundScalar;

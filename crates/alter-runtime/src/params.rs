@@ -140,6 +140,16 @@ pub struct ExecParams {
     /// sanitizer, which re-checks validation verdicts against the recorded
     /// sets. No effect without a recorder.
     pub record_sets: bool,
+    /// Emit per-round `Event::PhaseProfile` entries (deterministic cost
+    /// units per engine phase: snapshot, execute, validate, commit). Off by
+    /// default — profiling consumers opt in explicitly so existing canonical
+    /// traces and their hashes are unchanged. No effect without a recorder.
+    pub profile_phases: bool,
+    /// Wall-clock mirror for the phase profiler: when attached, the engine
+    /// adds elapsed seconds per phase. Lives outside the event stream (wall
+    /// time is nondeterministic), so it never affects traces or hashes; the
+    /// CLIs attach one under `ALTER_PROFILE_WALL=1`.
+    pub wall_profile: Option<Arc<alter_trace::WallProfile>>,
 }
 
 impl std::fmt::Debug for ExecParams {
@@ -158,6 +168,8 @@ impl std::fmt::Debug for ExecParams {
             .field("incremental_snapshots", &self.incremental_snapshots)
             .field("worker_pool", &self.worker_pool)
             .field("record_sets", &self.record_sets)
+            .field("profile_phases", &self.profile_phases)
+            .field("wall_profile", &self.wall_profile.is_some())
             .finish()
     }
 }
@@ -180,6 +192,8 @@ impl ExecParams {
             incremental_snapshots: true,
             worker_pool: true,
             record_sets: false,
+            profile_phases: false,
+            wall_profile: None,
         }
     }
 
@@ -297,6 +311,21 @@ impl ExecParams {
     /// (off by default; used by the `alter-lint` isolation sanitizer).
     pub fn with_record_sets(mut self, on: bool) -> Self {
         self.record_sets = on;
+        self
+    }
+
+    /// Builder-style: emit per-round `Event::PhaseProfile` cost-unit
+    /// entries (off by default; used by the phase profiler and
+    /// `alter-replay`).
+    pub fn with_profile_phases(mut self, on: bool) -> Self {
+        self.profile_phases = on;
+        self
+    }
+
+    /// Builder-style: attach a wall-clock phase accumulator (informational
+    /// only; excluded from traces and hashes).
+    pub fn with_wall_profile(mut self, wall: Arc<alter_trace::WallProfile>) -> Self {
+        self.wall_profile = Some(wall);
         self
     }
 

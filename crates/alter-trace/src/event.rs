@@ -41,6 +41,80 @@ impl std::fmt::Display for ConflictKind {
     }
 }
 
+/// One engine phase, as accounted by the deterministic phase profiler.
+///
+/// The first four phases partition a lock-step round: establish the
+/// snapshot, execute the round's transactions, validate them against
+/// earlier committers, and apply the committed effects. `InferProbe`
+/// covers the annotation-inference search, one accounting entry per probe.
+/// Phase costs are *cost units* (slots, words, declared work — the same
+/// currency as the virtual-time cost model), never wall-clock, so
+/// [`Event::PhaseProfile`] payloads inherit the trace determinism
+/// contract; an env-gated wall-clock mirror lives outside the event stream
+/// (see [`crate::WallProfile`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Establishing the round's memory snapshot (charged per visible slot).
+    Snapshot,
+    /// Running the round's transactions in isolation (charged in declared
+    /// work plus instrumented words moved).
+    Execute,
+    /// Conflict validation against earlier committers of the round
+    /// (charged in legacy `validate_words` — identical with the validation
+    /// fast path on or off).
+    Validate,
+    /// Applying committed effects to the heap (charged per committed write
+    /// and allocation word).
+    Commit,
+    /// One annotation-inference probe (charged the probe run's total cost
+    /// units).
+    InferProbe,
+}
+
+impl Phase {
+    /// Every phase, in canonical (pipeline) order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Snapshot,
+        Phase::Execute,
+        Phase::Validate,
+        Phase::Commit,
+        Phase::InferProbe,
+    ];
+
+    /// Short stable name used in JSONL, folded stacks and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Snapshot => "snapshot",
+            Phase::Execute => "execute",
+            Phase::Validate => "validate",
+            Phase::Commit => "commit",
+            Phase::InferProbe => "infer_probe",
+        }
+    }
+
+    /// Index into [`Phase::ALL`]-shaped arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Snapshot => 0,
+            Phase::Execute => 1,
+            Phase::Validate => 2,
+            Phase::Commit => 3,
+            Phase::InferProbe => 4,
+        }
+    }
+
+    /// Inverse of [`Phase::as_str`].
+    pub fn parse(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One structured trace event.
 ///
 /// Engine events are emitted from the sequential validate/commit phase of
@@ -165,6 +239,19 @@ pub enum Event {
         /// The configured budget.
         budget: u64,
     },
+    /// Deterministic cost-unit accounting for one engine phase of one
+    /// round (or, for [`Phase::InferProbe`], one inference probe — `round`
+    /// is then the probe index). Emitted only when
+    /// `ExecParams::profile_phases` is on; the four round phases arrive in
+    /// [`Phase::ALL`] order after the round's task events.
+    PhaseProfile {
+        /// Round index (probe index for `InferProbe` entries).
+        round: u64,
+        /// The phase being accounted.
+        phase: Phase,
+        /// Deterministic cost units charged to the phase.
+        cost: u64,
+    },
     /// The inference engine started probing one candidate annotation.
     ProbeStart {
         /// Annotation-style description, e.g.
@@ -205,6 +292,7 @@ impl Event {
             Event::Oom { .. } => "oom",
             Event::Crash { .. } => "crash",
             Event::WorkBudgetExceeded { .. } => "work_budget_exceeded",
+            Event::PhaseProfile { .. } => "phase_profile",
             Event::ProbeStart { .. } => "probe_start",
             Event::ProbeOutcome { .. } => "probe_outcome",
             Event::RunEnd { .. } => "run_end",
@@ -269,6 +357,11 @@ mod tests {
                 spent: 2,
                 budget: 1,
             },
+            Event::PhaseProfile {
+                round: 0,
+                phase: Phase::Snapshot,
+                cost: 1,
+            },
             Event::ProbeStart {
                 annotation: "TLS".into(),
             },
@@ -292,5 +385,15 @@ mod tests {
     fn conflict_kind_names() {
         assert_eq!(ConflictKind::Raw.to_string(), "RAW");
         assert_eq!(ConflictKind::Waw.as_str(), "WAW");
+    }
+
+    #[test]
+    fn phase_names_round_trip_and_index_all() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::parse(p.as_str()), Some(p));
+            assert_eq!(p.to_string(), p.as_str());
+        }
+        assert_eq!(Phase::parse("wall_clock"), None);
     }
 }

@@ -8,7 +8,7 @@
 //! [`from_jsonl`] inverts [`to_jsonl`], which is what lets the
 //! `alter-lint` sanitizer replay a recorded trace offline.
 
-use crate::event::{ConflictKind, Event};
+use crate::event::{ConflictKind, Event, Phase};
 use alter_heap::{AccessSet, ObjId};
 use std::fmt::Write as _;
 
@@ -54,7 +54,7 @@ pub fn parse_set(s: &str) -> Result<Vec<(ObjId, u32, u32)>, String> {
 }
 
 /// Escapes `s` as JSON string contents (without the surrounding quotes).
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -147,6 +147,13 @@ pub fn event_json(ev: &Event) -> String {
         Event::WorkBudgetExceeded { spent, budget } => {
             let _ = write!(s, ",\"spent\":{spent},\"budget\":{budget}");
         }
+        Event::PhaseProfile { round, phase, cost } => {
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"phase\":\"{}\",\"cost\":{cost}",
+                phase.as_str()
+            );
+        }
         Event::ProbeStart { annotation } => {
             s.push_str(",\"annotation\":\"");
             escape_into(&mut s, annotation);
@@ -207,13 +214,13 @@ impl std::error::Error for ParseTraceError {}
 
 /// One parsed JSON scalar: canonical traces only contain unsigned integers
 /// and strings.
-enum Val {
+pub(crate) enum Val {
     Int(u64),
     Str(String),
 }
 
 /// Parses one canonical single-line JSON object into (key, value) pairs.
-fn parse_object(line: &str) -> Result<Vec<(String, Val)>, String> {
+pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, Val)>, String> {
     let mut chars = line.chars().peekable();
     let mut fields = Vec::new();
     if chars.next() != Some('{') {
@@ -300,22 +307,22 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
     }
 }
 
-struct Fields {
-    fields: Vec<(String, Val)>,
+pub(crate) struct Fields {
+    pub(crate) fields: Vec<(String, Val)>,
 }
 
 impl Fields {
-    fn int(&self, key: &str) -> Result<u64, String> {
+    pub(crate) fn int(&self, key: &str) -> Result<u64, String> {
         match self.fields.iter().find(|(k, _)| k == key) {
             Some((_, Val::Int(n))) => Ok(*n),
             Some(_) => Err(format!("field `{key}` is not an integer")),
             None => Err(format!("missing field `{key}`")),
         }
     }
-    fn int32(&self, key: &str) -> Result<u32, String> {
+    pub(crate) fn int32(&self, key: &str) -> Result<u32, String> {
         u32::try_from(self.int(key)?).map_err(|_| format!("field `{key}` exceeds u32"))
     }
-    fn string(&self, key: &str) -> Result<String, String> {
+    pub(crate) fn string(&self, key: &str) -> Result<String, String> {
         match self.fields.iter().find(|(k, _)| k == key) {
             Some((_, Val::Str(s))) => Ok(s.clone()),
             Some(_) => Err(format!("field `{key}` is not a string")),
@@ -337,13 +344,13 @@ pub fn from_jsonl(text: &str) -> Result<Vec<Event>, ParseTraceError> {
         let f = Fields {
             fields: parse_object(line).map_err(at)?,
         };
-        let ev = parse_event(&f).map_err(at)?;
+        let ev = parse_event_fields(&f).map_err(at)?;
         events.push(ev);
     }
     Ok(events)
 }
 
-fn parse_event(f: &Fields) -> Result<Event, String> {
+pub(crate) fn parse_event_fields(f: &Fields) -> Result<Event, String> {
     let kind = f.string("ev")?;
     Ok(match kind.as_str() {
         "round_start" => Event::RoundStart {
@@ -410,6 +417,14 @@ fn parse_event(f: &Fields) -> Result<Event, String> {
         "work_budget_exceeded" => Event::WorkBudgetExceeded {
             spent: f.int("spent")?,
             budget: f.int("budget")?,
+        },
+        "phase_profile" => Event::PhaseProfile {
+            round: f.int("round")?,
+            phase: {
+                let s = f.string("phase")?;
+                Phase::parse(&s).ok_or_else(|| format!("unknown phase `{s}`"))?
+            },
+            cost: f.int("cost")?,
         },
         "probe_start" => Event::ProbeStart {
             annotation: f.string("annotation")?,
@@ -513,6 +528,11 @@ mod tests {
                 spent: 11,
                 budget: 10,
             },
+            Event::PhaseProfile {
+                round: 3,
+                phase: Phase::Validate,
+                cost: 128,
+            },
             Event::ProbeStart {
                 annotation: "[StaleReads]".into(),
             },
@@ -531,9 +551,26 @@ mod tests {
     }
 
     #[test]
+    fn phase_profile_event_is_canonical() {
+        let ev = Event::PhaseProfile {
+            round: 7,
+            phase: Phase::InferProbe,
+            cost: 42,
+        };
+        assert_eq!(
+            event_json(&ev),
+            "{\"ev\":\"phase_profile\",\"round\":7,\"phase\":\"infer_probe\",\"cost\":42}"
+        );
+    }
+
+    #[test]
     fn from_jsonl_rejects_garbage() {
         assert!(from_jsonl("not json\n").is_err());
         assert!(from_jsonl("{\"ev\":\"no_such_event\"}\n").is_err());
+        assert!(from_jsonl(
+            "{\"ev\":\"phase_profile\",\"round\":0,\"phase\":\"warp\",\"cost\":1}\n"
+        )
+        .is_err());
         let err = from_jsonl("{\"ev\":\"run_end\",\"rounds\":1}\n").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.msg.contains("attempts"), "{err}");

@@ -1,0 +1,307 @@
+//! The deterministic phase profiler's aggregation layer.
+//!
+//! [`Profile`] folds the [`Event::PhaseProfile`] entries of a trace into
+//! per-phase cost-unit totals and renders them two ways: a sorted hotspot
+//! table (the `alter-trace --profile` / `alter-replay profile` report) and
+//! folded-stack lines (`workload;phase cost`) that any flamegraph tool can
+//! consume directly. Because phase costs are deterministic cost units, a
+//! `Profile` is a pure function of the trace — byte-stable across reruns,
+//! machines and drive modes — which is what lets `PROFILE.json` sit under
+//! a CI drift check.
+//!
+//! Wall-clock mirroring is deliberately out-of-band: [`WallProfile`] is a
+//! thread-safe accumulator the engine fills when one is attached, so
+//! seconds never enter the event stream, the trace hash, or any
+//! drift-checked artifact.
+
+use crate::event::{Event, Phase};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Number of phases tracked (the length of [`Phase::ALL`]).
+pub const PHASE_COUNT: usize = Phase::ALL.len();
+
+/// Per-phase cost-unit totals folded from a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    totals: [u64; PHASE_COUNT],
+    /// `PhaseProfile` entries folded (not rounds: a round contributes one
+    /// entry per engine phase).
+    entries: u64,
+    /// Highest round index seen on a round-phase entry, plus one; 0 when
+    /// no round phases were recorded.
+    rounds: u64,
+    /// Highest probe index seen on an `InferProbe` entry, plus one.
+    probes: u64,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Folds the `PhaseProfile` events of a trace; all other events are
+    /// ignored.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut p = Profile::new();
+        for ev in events {
+            p.observe(ev);
+        }
+        p
+    }
+
+    /// Folds one event (no-op unless it is a `PhaseProfile`).
+    pub fn observe(&mut self, ev: &Event) {
+        if let Event::PhaseProfile { round, phase, cost } = ev {
+            self.record(*round, *phase, *cost);
+        }
+    }
+
+    /// Records one phase accounting entry directly.
+    pub fn record(&mut self, round: u64, phase: Phase, cost: u64) {
+        self.totals[phase.index()] += cost;
+        self.entries += 1;
+        if phase == Phase::InferProbe {
+            self.probes = self.probes.max(round + 1);
+        } else {
+            self.rounds = self.rounds.max(round + 1);
+        }
+    }
+
+    /// Merges another profile's totals into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for (t, o) in self.totals.iter_mut().zip(&other.totals) {
+            *t += o;
+        }
+        self.entries += other.entries;
+        self.rounds = self.rounds.max(other.rounds);
+        self.probes = self.probes.max(other.probes);
+    }
+
+    /// Total cost units charged to `phase`.
+    pub fn cost(&self, phase: Phase) -> u64 {
+        self.totals[phase.index()]
+    }
+
+    /// Total cost units across all phases.
+    pub fn total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// `PhaseProfile` entries folded.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Rounds covered by the round-phase entries.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Inference probes covered by the `InferProbe` entries.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Fraction of the total cost charged to `phase` (0.0 when empty).
+    pub fn share(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.cost(phase) as f64 / total as f64
+        }
+    }
+
+    /// Phases with their totals and shares, most expensive first; ties
+    /// break on pipeline order so the table is deterministic.
+    pub fn hotspots(&self) -> Vec<(Phase, u64, f64)> {
+        let mut rows: Vec<(Phase, u64, f64)> = Phase::ALL
+            .into_iter()
+            .map(|p| (p, self.cost(p), self.share(p)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        rows
+    }
+
+    /// The sorted hotspot table. `wall` (seconds per phase, from a
+    /// [`WallProfile`]) adds an informational wall-clock column; it never
+    /// affects ordering or the cost-unit columns.
+    pub fn render(&self, label: &str, wall: Option<&[f64; PHASE_COUNT]>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "phase profile: {label} ({} cost units, {} round(s), {} probe(s))",
+            self.total(),
+            self.rounds,
+            self.probes
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>14} {:>8}{}",
+            "phase",
+            "cost units",
+            "share",
+            if wall.is_some() { "      seconds" } else { "" }
+        );
+        for (phase, cost, share) in self.hotspots() {
+            if cost == 0 && wall.is_none_or(|w| w[phase.index()] == 0.0) {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "  {:<12} {:>14} {:>7.1}%",
+                phase.as_str(),
+                cost,
+                share * 100.0
+            );
+            if let Some(w) = wall {
+                let _ = write!(out, "  {:>11.6}", w[phase.index()]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Folded-stack lines (`label;phase cost`), one per non-empty phase in
+    /// pipeline order — the input format of standard flamegraph tooling.
+    pub fn folded(&self, label: &str) -> String {
+        let mut out = String::new();
+        for phase in Phase::ALL {
+            let cost = self.cost(phase);
+            if cost > 0 {
+                let _ = writeln!(out, "{label};{} {cost}", phase.as_str());
+            }
+        }
+        out
+    }
+}
+
+/// Thread-safe wall-clock accumulator mirroring the cost-unit profiler in
+/// seconds.
+///
+/// The engine adds elapsed seconds per phase only when one of these is
+/// attached (`ExecParams::wall_profile`), and the numbers stay outside the
+/// event stream: wall time is nondeterministic by nature, so it is
+/// excluded from trace hashes and every drift-checked artifact. The CLIs
+/// attach one when the `ALTER_PROFILE_WALL` environment variable is set.
+#[derive(Debug, Default)]
+pub struct WallProfile {
+    secs: Mutex<[f64; PHASE_COUNT]>,
+}
+
+impl WallProfile {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        WallProfile::default()
+    }
+
+    /// Adds `seconds` to `phase`.
+    pub fn add(&self, phase: Phase, seconds: f64) {
+        self.secs.lock().expect("wall profile poisoned")[phase.index()] += seconds;
+    }
+
+    /// The accumulated seconds per phase, indexed like [`Phase::ALL`].
+    pub fn seconds(&self) -> [f64; PHASE_COUNT] {
+        *self.secs.lock().expect("wall profile poisoned")
+    }
+
+    /// Total accumulated seconds.
+    pub fn total(&self) -> f64 {
+        self.seconds().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(round: u64, phase: Phase, cost: u64) -> Event {
+        Event::PhaseProfile { round, phase, cost }
+    }
+
+    #[test]
+    fn profile_folds_totals_rounds_and_probes() {
+        let evs = vec![
+            Event::RoundStart {
+                round: 0,
+                tasks: 1,
+                snapshot_slots: 4,
+            },
+            entry(0, Phase::Snapshot, 4),
+            entry(0, Phase::Execute, 100),
+            entry(0, Phase::Validate, 10),
+            entry(0, Phase::Commit, 6),
+            entry(1, Phase::Snapshot, 4),
+            entry(1, Phase::Execute, 50),
+            entry(0, Phase::InferProbe, 500),
+        ];
+        let p = Profile::from_events(&evs);
+        assert_eq!(p.cost(Phase::Snapshot), 8);
+        assert_eq!(p.cost(Phase::Execute), 150);
+        assert_eq!(p.total(), 674);
+        assert_eq!(p.entries(), 7);
+        assert_eq!(p.rounds(), 2);
+        assert_eq!(p.probes(), 1);
+        assert!((p.share(Phase::InferProbe) - 500.0 / 674.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspots_sort_by_cost_then_pipeline_order() {
+        let mut p = Profile::new();
+        p.record(0, Phase::Commit, 10);
+        p.record(0, Phase::Snapshot, 10);
+        p.record(0, Phase::Execute, 99);
+        let rows = p.hotspots();
+        assert_eq!(rows[0].0, Phase::Execute);
+        // Equal costs: snapshot precedes commit (pipeline order).
+        assert_eq!(rows[1].0, Phase::Snapshot);
+        assert_eq!(rows[2].0, Phase::Commit);
+    }
+
+    #[test]
+    fn folded_stacks_skip_empty_phases() {
+        let mut p = Profile::new();
+        p.record(0, Phase::Execute, 7);
+        p.record(0, Phase::Validate, 3);
+        assert_eq!(p.folded("genome"), "genome;execute 7\ngenome;validate 3\n");
+    }
+
+    #[test]
+    fn render_includes_wall_column_only_when_given() {
+        let mut p = Profile::new();
+        p.record(0, Phase::Execute, 7);
+        let plain = p.render("w", None);
+        assert!(plain.contains("execute"));
+        assert!(!plain.contains("seconds"));
+        let wall = [0.0, 0.5, 0.0, 0.0, 0.0];
+        let with = p.render("w", Some(&wall));
+        assert!(with.contains("seconds"));
+        assert!(with.contains("0.500000"));
+    }
+
+    #[test]
+    fn merge_adds_totals() {
+        let mut a = Profile::new();
+        a.record(0, Phase::Execute, 5);
+        let mut b = Profile::new();
+        b.record(2, Phase::Execute, 6);
+        b.record(0, Phase::InferProbe, 1);
+        a.merge(&b);
+        assert_eq!(a.cost(Phase::Execute), 11);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.probes(), 1);
+        assert_eq!(a.entries(), 3);
+    }
+
+    #[test]
+    fn wall_profile_accumulates() {
+        let w = WallProfile::new();
+        w.add(Phase::Snapshot, 0.25);
+        w.add(Phase::Snapshot, 0.25);
+        w.add(Phase::Commit, 1.0);
+        assert_eq!(w.seconds()[Phase::Snapshot.index()], 0.5);
+        assert!((w.total() - 1.5).abs() < 1e-12);
+    }
+}

@@ -42,3 +42,19 @@ pub fn all_benchmarks(scale: Scale) -> Vec<Box<dyn Benchmark>> {
         Box::new(hmm::Hmm::new(scale)),
     ]
 }
+
+/// Case-insensitive benchmark lookup, ignoring `-`/`_`, so `k-means`,
+/// `kmeans` and `K-means` all resolve. The CLIs and the replay driver share
+/// this so a journal's recorded workload name round-trips through lookup.
+pub fn find_benchmark(name: &str) -> Option<Box<dyn Benchmark>> {
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .flat_map(char::to_lowercase)
+            .collect::<String>()
+    };
+    let want = norm(name);
+    all_benchmarks(Scale::Inference)
+        .into_iter()
+        .find(|b| norm(b.name()) == want)
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Runtime micro-benchmarks: the primitive-cost benchmarks plus the two
-# deterministic A/B benches (validation fast path, round-overhead
-# machinery), which together regenerate BENCH_runtime.json at the repo
+# Runtime micro-benchmarks: the primitive-cost benchmarks plus the three
+# deterministic benches (validation fast path, round-overhead machinery,
+# phase profiler), which together regenerate BENCH_runtime.json at the repo
 # root. Everything in the JSON is a deterministic counter (cost units,
 # validate words, exact-scan words, snapshot slots copied, trace hashes) —
 # no wall-clock — so the file is stable across machines and is checked in;
@@ -34,13 +34,18 @@ cargo bench -p alter-bench --bench validation -- --json "$PWD/target/bench-valid
 echo
 echo "== round-overhead A/B (snapshots + worker pool) =="
 cargo bench -p alter-bench --bench round_overhead -- --json "$PWD/target/bench-round-overhead.json"
+echo
+echo "== phase profiler (per-phase cost units, worker sweep) =="
+cargo bench -p alter-bench --bench phases -- --json "$PWD/target/bench-phases.json"
 
-# Merge the two deterministic summaries into the checked-in profile.
+# Merge the deterministic summaries into the checked-in profile.
 {
   printf '{\n"validation":\n'
   cat target/bench-validation.json
   printf ',\n"round_overhead":\n'
   cat target/bench-round-overhead.json
+  printf ',\n"phases":\n'
+  cat target/bench-phases.json
   printf '}\n'
 } > BENCH_runtime.json
 

@@ -31,6 +31,30 @@ if [[ -n "$(git status --porcelain -- ANALYSIS.json)" ]]; then
   exit 1
 fi
 
+echo "== record/replay identity (determinism gate) =="
+# Records a journal for two workloads and re-executes each under its
+# recorded configuration: the fresh event stream must be byte-identical.
+# On mismatch alter-replay bisects to the first divergent round/event and
+# prints the structured diff, which is exactly what we want in a CI log.
+for w in genome k-means; do
+  cargo run --release -q -p alter-bench --bin alter-replay -- \
+    record "$w" --sets --profile --out "target/$w.journal" > /dev/null
+  cargo run --release -q -p alter-bench --bin alter-replay -- \
+    replay "target/$w.journal"
+done
+
+echo "== phase-profile baseline (PROFILE.json drift check) =="
+# Regenerates the per-workload phase-cost baseline (pure cost units, no
+# wall-clock) and fails on any drift from the committed file.
+cargo run --release -q -p alter-bench --bin alter-replay -- \
+  profile all --json PROFILE.json > /dev/null
+if [[ -n "$(git status --porcelain -- PROFILE.json)" ]]; then
+  echo "error: PROFILE.json drifted — the deterministic per-phase cost"
+  echo "profile changed; inspect the diff and re-commit if intended."
+  git --no-pager diff -- PROFILE.json
+  exit 1
+fi
+
 echo "== bench smoke (deterministic A/B counters) =="
 scripts/bench.sh --smoke
 # `git status --porcelain` (not `git diff --quiet`) so a deleted or
