@@ -44,6 +44,8 @@ commands:
         --workers N  worker count (default 4)
         --sets       record per-task access sets (task_sets events)
         --profile    record per-round phase_profile cost-unit events
+        --pipeline   drive the run with the ticketed pipeline committer
+        --pipeline-depth N  committer lookahead (default 4; 1 = barrier)
   replay <journal>
       re-execute the journal's workload under its recorded configuration
       and verify the fresh event stream is byte-identical; on mismatch,
@@ -106,6 +108,10 @@ struct RecordArgs {
     workers: usize,
     sets: bool,
     profile: bool,
+    /// 0 = lock-step; n ≥ 1 = pipelined driver with committer lookahead n
+    /// (the journal-header encoding, so a recorded run replays under the
+    /// exact driver it was captured with).
+    pipeline_depth: u32,
 }
 
 /// Shared positional/flag parser for `record` and `profile`.
@@ -118,6 +124,8 @@ fn parse_run_args(args: &[String]) -> Result<(RecordArgs, bool, Option<String>),
     let mut profile = false;
     let mut folded = false;
     let mut json = None;
+    let mut pipeline = false;
+    let mut pipeline_depth = 4u32;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -127,6 +135,15 @@ fn parse_run_args(args: &[String]) -> Result<(RecordArgs, bool, Option<String>),
                     .and_then(|v| v.parse::<usize>().ok())
                     .ok_or("--workers needs a positive integer")?
                     .max(1);
+            }
+            "--pipeline" => pipeline = true,
+            "--pipeline-depth" => {
+                pipeline_depth = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or("--pipeline-depth needs a positive integer")?
+                    .max(1);
+                pipeline = true;
             }
             "--out" | "--json" => {
                 let v = it.next().ok_or(format!("{a} needs a file path"))?.clone();
@@ -156,6 +173,7 @@ fn parse_run_args(args: &[String]) -> Result<(RecordArgs, bool, Option<String>),
             workers,
             sets,
             profile,
+            pipeline_depth: if pipeline { pipeline_depth } else { 0 },
         },
         folded,
         json,
@@ -169,6 +187,8 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         .ok_or(format!("unknown annotation `{}`", a.annotation))?;
     probe.record_sets = a.sets;
     probe.profile_phases = a.profile;
+    probe.pipelined = a.pipeline_depth > 0;
+    probe.pipeline_depth = a.pipeline_depth.max(1) as usize;
 
     let (events, verdict) = record_events(bench.as_ref(), &probe);
     if let Err(e) = &verdict {
@@ -181,6 +201,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         workers: a.workers as u32,
         record_sets: a.sets,
         profile_phases: a.profile,
+        pipeline_depth: a.pipeline_depth,
         trace_hash: 0, // recomputed by Journal::new
     };
     let journal = Journal::new(header, events)?;
@@ -215,6 +236,8 @@ fn replay_journal(journal: &Journal) -> Result<Option<String>, String> {
     ))?;
     probe.record_sets = h.record_sets;
     probe.profile_phases = h.profile_phases;
+    probe.pipelined = h.pipeline_depth > 0;
+    probe.pipeline_depth = h.pipeline_depth.max(1) as usize;
     let (events, _) = record_events(bench.as_ref(), &probe);
     match diverge_bisect(journal.events(), &events) {
         ReplayOutcome::Identical { events, hash } => {

@@ -49,6 +49,15 @@ flags:
                persistent worker pool (only affects --threaded runs)
   --threaded   drive rounds with real threads instead of the sequential
                simulation (identical traces, different wall-clock)
+  --pipeline   drive rounds with the ticketed pipeline committer (implies
+               a threaded pool run; identical traces — only the masked
+               stall/idle telemetry moves, which is the A/B point)
+  --pipeline-depth N
+               committer lookahead for --pipeline (default 4; 1 degenerates
+               to the lock-step barrier)
+  --tickets    emit ticket-lifecycle events (ticket_issued /
+               ticket_validated / ticket_requeued) into the trace; off by
+               default so hashes match previous releases
   --deps       print the workload's dependence summary (per-location
                edges with iteration distances) and its Table 3 Dep cell
                instead of running a probe; with no workload, print the
@@ -107,16 +116,17 @@ fn list_workloads() {
 /// Runs `probe` against `bench` with a fresh ring recorder and returns the
 /// captured events, the run verdict line, and the runtime's out-of-band
 /// perf counters: the validation fast-path quartet `[fingerprint_hits,
-/// fingerprint_rejects, pool_reuses, exact_scan_words]` followed by the
+/// fingerprint_rejects, pool_reuses, exact_scan_words]`, the
 /// round-overhead trio `[snapshot_slots_copied, snapshot_pages_reused,
-/// pool_round_handoffs]` (zeros when the run aborted). The counters travel
-/// outside the event stream — traces are byte-identical whichever fast
-/// paths are enabled.
-fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 7]) {
+/// pool_round_handoffs]`, then the pipeline quartet `[tickets_issued,
+/// tickets_requeued, committer_stall_units, worker_idle_units]` (zeros when
+/// the run aborted). The counters travel outside the event stream — traces
+/// are byte-identical whichever fast paths and drivers are enabled.
+fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 11]) {
     let rec = Arc::new(RingRecorder::default());
     let mut probe = probe.clone();
     probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
-    let mut counters = [0u64; 7];
+    let mut counters = [0u64; 11];
     let verdict = match bench.run_probe(&probe) {
         Ok(run) => {
             counters = [
@@ -127,6 +137,10 @@ fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64
                 run.stats.snapshot_slots_copied,
                 run.stats.snapshot_pages_reused,
                 run.stats.pool_round_handoffs,
+                run.stats.tickets_issued,
+                run.stats.tickets_requeued,
+                run.stats.committer_stall_units,
+                run.stats.worker_idle_units,
             ];
             format!(
                 "run: ok  (retry rate {:.3}, {:.1} sequential-work units)",
@@ -168,19 +182,25 @@ fn main() -> ExitCode {
     let mut incremental_snapshots = true;
     let mut worker_pool = true;
     let mut threaded = false;
+    let mut pipeline = false;
+    let mut pipeline_depth = 4usize;
+    let mut tickets = false;
     let mut deps = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--workers" | "--chunk" => {
+            "--workers" | "--chunk" | "--pipeline-depth" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("error: {a} needs a positive integer");
                     return ExitCode::FAILURE;
                 };
                 if a == "--workers" {
                     workers = v.max(1);
-                } else {
+                } else if a == "--chunk" {
                     chunk = Some(v.max(1));
+                } else {
+                    pipeline_depth = v.max(1);
+                    pipeline = true;
                 }
             }
             "--jsonl" => jsonl = true,
@@ -190,6 +210,8 @@ fn main() -> ExitCode {
             "--no-incremental-snapshots" => incremental_snapshots = false,
             "--no-worker-pool" => worker_pool = false,
             "--threaded" => threaded = true,
+            "--pipeline" => pipeline = true,
+            "--tickets" => tickets = true,
             "--deps" => deps = true,
             _ if a.starts_with("--") => {
                 eprintln!("error: unknown flag {a}\n{USAGE}");
@@ -238,6 +260,9 @@ fn main() -> ExitCode {
     probe.incremental_snapshots = incremental_snapshots;
     probe.worker_pool = worker_pool;
     probe.threaded = threaded;
+    probe.pipelined = pipeline;
+    probe.pipeline_depth = pipeline_depth;
+    probe.trace_tickets = tickets;
     probe.profile_phases = profile;
     let wall = (profile && std::env::var("ALTER_PROFILE_WALL").is_ok_and(|v| v == "1"))
         .then(|| Arc::new(WallProfile::new()));
@@ -256,6 +281,14 @@ fn main() -> ExitCode {
         } else {
             "threaded, scoped spawns"
         });
+    }
+    let pipeline_note;
+    if pipeline {
+        pipeline_note = format!("pipelined committer, depth {pipeline_depth}");
+        notes.push(&pipeline_note);
+    }
+    if tickets {
+        notes.push("ticket events");
     }
     println!(
         "{} under [{}], {} worker(s), chunk {}{}",
@@ -282,6 +315,7 @@ fn main() -> ExitCode {
     let mut metrics = Metrics::from_events(&events);
     metrics.record_validation_counters(counters[0], counters[1], counters[2], counters[3]);
     metrics.record_round_counters(counters[4], counters[5], counters[6]);
+    metrics.record_pipeline_counters(counters[7], counters[8], counters[9], counters[10]);
     print!("{}", metrics.render());
     println!();
     if profile {

@@ -97,6 +97,10 @@ pub struct Heap {
     /// count.
     journal: Vec<u32>,
     journaled: Vec<bool>,
+    /// Monotonic snapshot epoch: bumped once per round snapshot (either
+    /// flavour). The pipelined engine stamps every ticket with the epoch it
+    /// executes against; a re-queued ticket gets the next (fresh) epoch.
+    epoch: u64,
 }
 
 impl Heap {
@@ -214,6 +218,23 @@ impl Heap {
         }
     }
 
+    /// Takes a full-build round snapshot *and* advances the snapshot
+    /// epoch — the engine's non-incremental round path. One-shot snapshots
+    /// that are not round boundaries (dependence detection, tests) keep
+    /// using [`Heap::snapshot`], which leaves the epoch alone.
+    pub fn snapshot_round(&mut self) -> Snapshot {
+        self.epoch += 1;
+        self.snapshot()
+    }
+
+    /// The current snapshot epoch: how many round snapshots this heap has
+    /// issued. Monotonic across engine runs on the same heap (convergence
+    /// loops drive the engine repeatedly), so an epoch names one snapshot
+    /// globally, not just within a run.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Takes a snapshot bit-identical to [`Heap::snapshot`]'s by patching
     /// the persistent page table, in O(slots dirtied since the previous
     /// incremental snapshot).
@@ -225,6 +246,7 @@ impl Heap {
     /// still alive, in place once it has been dropped (the engine's steady
     /// state, since a round's snapshot dies at the round barrier).
     pub fn snapshot_incremental(&mut self) -> (Snapshot, SnapshotStats) {
+        self.epoch += 1;
         let mut stats = SnapshotStats::default();
         let npages = self.slots.len().div_ceil(SNAPSHOT_PAGE_SLOTS);
         if self.snap_valid {
@@ -704,5 +726,24 @@ mod tests {
         let (s, st) = h.snapshot_incremental();
         assert_eq!(st.slots_copied, 1);
         assert_eq!(s.get(a).unwrap().i64s()[0], 1);
+    }
+
+    #[test]
+    fn snapshot_epoch_is_monotonic_across_round_snapshots() {
+        let mut h = Heap::new();
+        let _ = h.alloc(ObjData::scalar_i64(1));
+        assert_eq!(h.snapshot_epoch(), 0);
+        // Both round-snapshot flavours advance the epoch…
+        let _ = h.snapshot_incremental();
+        assert_eq!(h.snapshot_epoch(), 1);
+        let _ = h.snapshot_round();
+        assert_eq!(h.snapshot_epoch(), 2);
+        // …a plain one-shot snapshot does not, and neither does dropping
+        // the incremental cache (epochs stay monotonic forever).
+        let _ = h.snapshot();
+        h.reset_snapshot_cache();
+        assert_eq!(h.snapshot_epoch(), 2);
+        let _ = h.snapshot_incremental();
+        assert_eq!(h.snapshot_epoch(), 3);
     }
 }

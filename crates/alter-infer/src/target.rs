@@ -102,6 +102,21 @@ pub struct Probe {
     /// [`alter_runtime::WorkerPool`] (on by default; off falls back to a
     /// spawn-per-round scope, for A/B measurement only).
     pub worker_pool: bool,
+    /// Whether the run uses the ticketed pipeline driver: the committer
+    /// retires ticket *s* as soon as lane *s* delivers instead of waiting
+    /// for the round barrier. Traces and outputs are byte-identical either
+    /// way; only the (masked) stall/idle telemetry moves. Setting this
+    /// implies a threaded pool run (see [`Probe::driver`]).
+    pub pipelined: bool,
+    /// Committer lookahead for the pipelined driver: 1 degenerates to the
+    /// lock-step barrier, ≥ 2 streams the round. Ignored unless
+    /// [`Probe::pipelined`] is set.
+    pub pipeline_depth: usize,
+    /// Whether the engine emits ticket-lifecycle events
+    /// (`ticket_issued`/`ticket_validated`/`ticket_requeued`). Off by
+    /// default so recorded traces stay byte-identical to previous releases;
+    /// when on, every driver emits the identical event stream.
+    pub trace_tickets: bool,
     /// Whether the engine may reuse unchanged snapshot pages between rounds
     /// (on by default; off re-clones the whole heap each round, for A/B
     /// measurement only — traces are identical either way).
@@ -134,6 +149,9 @@ impl std::fmt::Debug for Probe {
             .field("fast_validation", &self.fast_validation)
             .field("threaded", &self.threaded)
             .field("worker_pool", &self.worker_pool)
+            .field("pipelined", &self.pipelined)
+            .field("pipeline_depth", &self.pipeline_depth)
+            .field("trace_tickets", &self.trace_tickets)
             .field("incremental_snapshots", &self.incremental_snapshots)
             .field("record_sets", &self.record_sets)
             .field("profile_phases", &self.profile_phases)
@@ -157,6 +175,9 @@ impl Probe {
             fast_validation: true,
             threaded: false,
             worker_pool: true,
+            pipelined: false,
+            pipeline_depth: 4,
+            trace_tickets: false,
             incremental_snapshots: true,
             record_sets: false,
             profile_phases: false,
@@ -164,12 +185,13 @@ impl Probe {
         }
     }
 
-    /// The loop driver this probe asks for: threaded when [`Probe::threaded`]
-    /// is set, the sequential round simulation otherwise. Targets should
-    /// pass this to [`alter_runtime::LoopBuilder::run`] instead of
-    /// hard-coding a driver.
+    /// The loop driver this probe asks for: threaded when
+    /// [`Probe::threaded`] or [`Probe::pipelined`] is set (the pipeline
+    /// needs real worker lanes to overlap with the committer), the
+    /// sequential round simulation otherwise. Targets should pass this to
+    /// [`alter_runtime::LoopBuilder::run`] instead of hard-coding a driver.
     pub fn driver(&self) -> alter_runtime::Driver {
-        if self.threaded {
+        if self.threaded || self.pipelined {
             alter_runtime::Driver::threaded()
         } else {
             alter_runtime::Driver::sequential()
@@ -191,6 +213,9 @@ impl Probe {
         p.recorder = self.recorder.clone();
         p.fast_validation = self.fast_validation;
         p.worker_pool = self.worker_pool;
+        p.pipelined = self.pipelined;
+        p.pipeline_depth = self.pipeline_depth.max(1);
+        p.trace_tickets = self.trace_tickets;
         p.incremental_snapshots = self.incremental_snapshots;
         p.record_sets = self.record_sets;
         p.profile_phases = self.profile_phases;

@@ -178,11 +178,39 @@ pub struct RunStats {
     /// Snapshot pages carried over untouched from the previous round's
     /// snapshot (incremental snapshots only — the structural-sharing win).
     pub snapshot_pages_reused: u64,
-    /// Rounds whose tasks were handed to the persistent [`crate::WorkerPool`].
-    /// The **only** `RunStats` field that depends on the drive mode (it is
-    /// zero under the sequential and per-round-scope drivers); comparisons
-    /// across drivers must mask it out.
+    /// Rounds whose tasks were handed to the persistent [`crate::WorkerPool`]
+    /// (zero under the sequential and per-round-scope drivers). Scheduling
+    /// telemetry, masked by [`RunStats::modulo_drive_mode`].
     pub pool_round_handoffs: u64,
+    /// Tickets handed out by the sequencer — fresh chunk-transactions only;
+    /// a re-queued ticket keeps its sequence number and is counted in
+    /// [`RunStats::tickets_requeued`] instead. On a clean run
+    /// `tickets_issued + tickets_requeued == attempts`. The sequencer is
+    /// shared by every drive mode, but the counter is masked by
+    /// [`RunStats::modulo_drive_mode`] with the rest of the pipeline
+    /// accounting: the determinism contract covers outputs and traces, not
+    /// scheduling telemetry.
+    pub tickets_issued: u64,
+    /// Re-queue occurrences: tickets sent back to the sequencer with a
+    /// fresh snapshot epoch after failing validation or being squashed by
+    /// an earlier in-order failure. Scheduling telemetry, masked by
+    /// [`RunStats::modulo_drive_mode`].
+    pub tickets_requeued: u64,
+    /// Virtual-time cost units the in-order committer spent waiting for a
+    /// ticket's lane to deliver — **never** wall-clock. Under the barrier
+    /// model each round charges the slowest lane's execute cost (the
+    /// committer cannot start until the barrier opens); under the pipelined
+    /// model only the gaps that in-order consumption cannot hide. The model
+    /// is selected by `pipelined && pipeline_depth >= 2` — **not** by the
+    /// drive mode — so the sequential driver simulates figures identical to
+    /// the threaded pipelined driver's. Masked by
+    /// [`RunStats::modulo_drive_mode`].
+    pub committer_stall_units: u64,
+    /// Virtual-time cost units workers spent idle between finishing their
+    /// own lane and the round's last commit retiring (same model selection
+    /// as [`RunStats::committer_stall_units`]). Masked by
+    /// [`RunStats::modulo_drive_mode`].
+    pub worker_idle_units: u64,
     /// Deterministic cost units charged to each engine phase (the phase
     /// profiler's ledger; identical across drive modes and A/B knobs).
     pub phase_costs: PhaseCosts,
@@ -238,16 +266,31 @@ impl RunStats {
         self.snapshot_slots_copied += other.snapshot_slots_copied;
         self.snapshot_pages_reused += other.snapshot_pages_reused;
         self.pool_round_handoffs += other.pool_round_handoffs;
+        self.tickets_issued += other.tickets_issued;
+        self.tickets_requeued += other.tickets_requeued;
+        self.committer_stall_units += other.committer_stall_units;
+        self.worker_idle_units += other.worker_idle_units;
         self.phase_costs.add(&other.phase_costs);
     }
 
-    /// These statistics with [`RunStats::pool_round_handoffs`] — the one
-    /// drive-mode-dependent counter — masked to zero: the quantity the
-    /// determinism guarantee promises is identical across the sequential,
-    /// per-round-scope and persistent-pool drivers.
+    /// These statistics with every scheduling-telemetry counter masked to
+    /// zero: [`RunStats::pool_round_handoffs`],
+    /// [`RunStats::tickets_issued`], [`RunStats::tickets_requeued`],
+    /// [`RunStats::committer_stall_units`] and
+    /// [`RunStats::worker_idle_units`]. What remains is the quantity the
+    /// determinism guarantee promises identical across the sequential,
+    /// per-round-scope, persistent-pool and pipelined drivers — and across
+    /// `pipeline_depth` settings: semantic work, not how it was driven.
+    /// Every counter that a drive-mode or pipeline A/B knob may legally
+    /// change belongs in this mask; everything else must be byte-identical
+    /// across drivers (the masking contract, unit-tested below).
     pub fn modulo_drive_mode(&self) -> RunStats {
         RunStats {
             pool_round_handoffs: 0,
+            tickets_issued: 0,
+            tickets_requeued: 0,
+            committer_stall_units: 0,
+            worker_idle_units: 0,
             ..*self
         }
     }
@@ -336,10 +379,66 @@ impl RoundObserver for NullObserver {
     fn on_round(&mut self, _report: &RoundReport<'_>) {}
 }
 
+/// One chunk-transaction in flight: the unit the sequencer issues, a
+/// worker lane executes, and the committer retires strictly in `seq`
+/// order.
 #[derive(Debug)]
-struct PendingTask {
+struct Ticket {
+    /// Program-order chunk sequence number — assigned once at issue time
+    /// and kept across re-queues (validation order is `seq` order).
     seq: u64,
+    /// Snapshot epoch the ticket executes against, re-stamped each round:
+    /// a re-queued ticket always re-executes against a fresh epoch.
+    epoch: u64,
+    /// Iterations in the chunk.
     iters: Vec<u64>,
+}
+
+/// The pipeline's ticket source: monotonic sequence numbers for fresh
+/// chunks plus the retry queue for tickets whose validation failed. One
+/// sequencer drives every mode — sequential, per-round scope, persistent
+/// pool and pipelined — so ticket accounting cannot depend on the driver.
+#[derive(Debug, Default)]
+struct Sequencer {
+    next_seq: u64,
+    retry: VecDeque<Ticket>,
+}
+
+impl Sequencer {
+    /// Assembles the next round: re-queued tickets first (already in
+    /// ascending `seq` order), then fresh chunks up to the worker count.
+    /// Returns the round's tickets plus how many were freshly issued;
+    /// snapshot epochs are stamped by the caller once the round snapshot
+    /// exists.
+    fn next_round(
+        &mut self,
+        space: &mut dyn IterSpace,
+        workers: usize,
+        chunk: usize,
+    ) -> (Vec<Ticket>, u64) {
+        let mut tickets: Vec<Ticket> = self.retry.drain(..).collect();
+        let mut fresh = 0;
+        while tickets.len() < workers && !space.is_exhausted() {
+            let iters = space.next_chunk(chunk);
+            if iters.is_empty() {
+                break;
+            }
+            tickets.push(Ticket {
+                seq: self.next_seq,
+                epoch: 0,
+                iters,
+            });
+            self.next_seq += 1;
+            fresh += 1;
+        }
+        (tickets, fresh)
+    }
+
+    /// Hands a failed ticket back for the next round, where it will execute
+    /// against a fresh snapshot epoch.
+    fn requeue(&mut self, ticket: Ticket) {
+        self.retry.push_back(ticket);
+    }
 }
 
 enum TaskPanic {
@@ -352,7 +451,7 @@ type TaskOutcome = Result<(TxEffects, Vec<RedDelta>), TaskPanic>;
 #[allow(clippy::too_many_arguments)]
 fn run_one_task<B: LoopBody + ?Sized>(
     snap: &Snapshot,
-    task: &PendingTask,
+    task: &Ticket,
     bufs: TxBuffers,
     worker: usize,
     base: u32,
@@ -390,7 +489,7 @@ fn run_one_task<B: LoopBody + ?Sized>(
 /// everything else is owned by exactly one worker for the round.
 struct PoolJob {
     snap: Snapshot,
-    task: PendingTask,
+    ticket: Ticket,
     bufs: TxBuffers,
     base: u32,
     reds: Arc<RedVars>,
@@ -403,14 +502,14 @@ struct PoolJob {
 fn execute_round_scoped<B: LoopBody>(
     threaded: bool,
     snap: &Snapshot,
-    tasks: Vec<PendingTask>,
+    tasks: Vec<Ticket>,
     bufs: Vec<TxBuffers>,
     base: u32,
     params: &ExecParams,
     reds: &RedVars,
     mode: TrackMode,
     body: &B,
-) -> Vec<(PendingTask, TaskOutcome)> {
+) -> Vec<(Ticket, TaskOutcome)> {
     debug_assert_eq!(tasks.len(), bufs.len());
     let outcomes: Vec<TaskOutcome> = if threaded && tasks.len() > 1 {
         std::thread::scope(|scope| {
@@ -558,11 +657,29 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
         // The per-round reduction registry is cloned into the job batch
         // (workers only read it; merges happen on this thread, between
         // rounds) — one small clone per round, same values every driver.
+        //
+        // `streaming` selects the pipelined handoff: instead of joining the
+        // round barrier and then committing, the committer consumes ticket
+        // s the moment lane s delivers while later lanes keep executing.
+        // Depth 1 deliberately degenerates to the barrier (lock-step
+        // baseline); depths above 2 are accepted as headroom — within a
+        // round all tickets are dispatched immediately, and cross-round
+        // lookahead is impossible because round r+1's snapshot needs every
+        // round-r commit.
+        let streaming = params.pipelined && params.pipeline_depth >= 2;
         let worker_fn = |worker: usize, job: PoolJob| {
             let outcome = run_one_task(
-                &job.snap, &job.task, job.bufs, worker, job.base, params, &job.reds, mode, body,
+                &job.snap,
+                &job.ticket,
+                job.bufs,
+                worker,
+                job.base,
+                params,
+                &job.reds,
+                mode,
+                body,
             );
-            (job.task, outcome)
+            (job.ticket, outcome)
         };
         std::thread::scope(|scope| {
             let mut pool = WorkerPool::new(scope, params.workers, &worker_fn);
@@ -570,23 +687,42 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
             // before the handoff counter can be read back.
             let mut result = {
                 let mut exec = |snap: &Snapshot,
-                                tasks: Vec<PendingTask>,
+                                tickets: Vec<Ticket>,
                                 bufs: Vec<TxBuffers>,
                                 base: u32,
-                                reds: &RedVars| {
-                    let reds = Arc::new(reds.clone());
-                    let jobs = tasks
+                                reds: Arc<RedVars>,
+                                sink: &mut TaskSink<'_>|
+                 -> Result<(), RunError> {
+                    let jobs: Vec<PoolJob> = tickets
                         .into_iter()
                         .zip(bufs)
-                        .map(|(task, bufs)| PoolJob {
+                        .map(|(ticket, bufs)| PoolJob {
                             snap: snap.clone(),
-                            task,
+                            ticket,
                             bufs,
                             base,
                             reds: Arc::clone(&reds),
                         })
                         .collect();
-                    pool.run_round(jobs)
+                    if streaming {
+                        // Pipelined committer: strictly in-order consumption
+                        // of an out-of-order execution. An early `Err` drops
+                        // the stream, which drains the abandoned lanes so
+                        // they stay aligned.
+                        let mut stream = pool.stream_round(jobs);
+                        let mut worker = 0;
+                        while let Some((ticket, outcome)) = stream.next_ticket() {
+                            sink(worker, ticket, outcome)?;
+                            worker += 1;
+                        }
+                    } else {
+                        for (worker, (ticket, outcome)) in
+                            pool.run_round(jobs).into_iter().enumerate()
+                        {
+                            sink(worker, ticket, outcome)?;
+                        }
+                    }
+                    Ok(())
                 };
                 run_rounds(heap, reds, space, params, &mut exec, observer)
             };
@@ -599,27 +735,45 @@ pub(crate) fn run_loop_engine<B: LoopBody>(
         })
     } else {
         let mut exec = |snap: &Snapshot,
-                        tasks: Vec<PendingTask>,
+                        tickets: Vec<Ticket>,
                         bufs: Vec<TxBuffers>,
                         base: u32,
-                        reds: &RedVars| {
-            execute_round_scoped(threaded, snap, tasks, bufs, base, params, reds, mode, body)
+                        reds: Arc<RedVars>,
+                        sink: &mut TaskSink<'_>|
+         -> Result<(), RunError> {
+            let results = execute_round_scoped(
+                threaded, snap, tickets, bufs, base, params, &reds, mode, body,
+            );
+            for (worker, (ticket, outcome)) in results.into_iter().enumerate() {
+                sink(worker, ticket, outcome)?;
+            }
+            Ok(())
         };
         run_rounds(heap, reds, space, params, &mut exec, observer)
     }
 }
 
+/// The committer's per-ticket consumer: validates and commits (or
+/// re-queues) one ticket. [`run_rounds`] builds one sink per round over its
+/// own mutable state; drivers must feed it **strictly in ticket order** —
+/// that in-order handoff, not a barrier, is the only ordering the
+/// determinism argument needs. An `Err` aborts the round (and the run).
+type TaskSink<'a> = dyn FnMut(usize, Ticket, TaskOutcome) -> Result<(), RunError> + 'a;
+
 /// Per-round execution callback of [`run_rounds`]: given the round's
-/// snapshot, tasks, lent buffers, base worker index, and reduction
-/// registry, runs every task and returns `(task, outcome)` pairs in task
-/// order.
+/// snapshot, tickets, lent buffers, base worker index, and a shared handle
+/// on the reduction registry, runs every ticket and feeds each `(worker,
+/// ticket, outcome)` to the sink in ticket order. Barrier drivers run the
+/// whole round first and then feed; the pipelined driver feeds each ticket
+/// as its lane delivers.
 type RoundExec<'a> = dyn FnMut(
         &Snapshot,
-        Vec<PendingTask>,
+        Vec<Ticket>,
         Vec<TxBuffers>,
         u32,
-        &RedVars,
-    ) -> Vec<(PendingTask, TaskOutcome)>
+        Arc<RedVars>,
+        &mut TaskSink<'_>,
+    ) -> Result<(), RunError>
     + 'a;
 
 /// The round loop: schedule, snapshot, execute (via `exec`), validate,
@@ -642,8 +796,7 @@ fn run_rounds(
     // way and never reads the clock.
     let wall = params.wall_profile.as_deref();
     let mut stats = RunStats::default();
-    let mut pending: VecDeque<PendingTask> = VecDeque::new();
-    let mut next_seq: u64 = 0;
+    let mut sequencer = Sequencer::default();
     let mut reports: Vec<TaskReport> = Vec::new();
     // Cross-round recycling (tentpole of the validation fast path): the pool
     // lends each task its transaction buffers and takes them back — emptied,
@@ -661,23 +814,14 @@ fn run_rounds(
     let mut merged_writes = AccessSet::new();
 
     loop {
-        // Assemble the round: retries first (lowest seq first — they are
-        // already in order), then fresh chunks.
-        let mut tasks: Vec<PendingTask> = pending.drain(..).collect();
-        while tasks.len() < params.workers && !space.is_exhausted() {
-            let iters = space.next_chunk(params.chunk);
-            if iters.is_empty() {
-                break;
-            }
-            tasks.push(PendingTask {
-                seq: next_seq,
-                iters,
-            });
-            next_seq += 1;
-        }
-        if tasks.is_empty() {
+        // Assemble the round from the sequencer: re-queued tickets first
+        // (lowest seq first — they are already in order), then fresh
+        // chunks.
+        let (mut tickets, fresh) = sequencer.next_round(space, params.workers, params.chunk);
+        if tickets.is_empty() {
             break;
         }
+        stats.tickets_issued += fresh;
 
         // Establish the round snapshot. Incrementally patching the heap's
         // persistent page table yields a bit-identical view; only the
@@ -686,7 +830,7 @@ fn run_rounds(
         let (snap, snap_stats) = if params.incremental_snapshots {
             heap.snapshot_incremental()
         } else {
-            let snap = heap.snapshot();
+            let snap = heap.snapshot_round();
             let full = SnapshotStats {
                 slots_copied: snap.slot_count() as u64,
                 pages_reused: 0,
@@ -698,6 +842,14 @@ fn run_rounds(
         }
         stats.snapshot_slots_copied += snap_stats.slots_copied;
         stats.snapshot_pages_reused += snap_stats.pages_reused;
+        // Both snapshot flavours bumped the heap's monotonic snapshot
+        // epoch; stamp it onto the round's tickets. A re-queued ticket is
+        // re-stamped here — it re-executes against the fresh epoch its
+        // `TicketRequeued` event promised.
+        let epoch = heap.snapshot_epoch();
+        for t in &mut tickets {
+            t.epoch = epoch;
+        }
         // Phase ledger for this round. Snapshot cost is the trace's
         // `snapshot_slots` figure (one charge per slot in the round's view),
         // deliberately not `slots_copied`, which varies with the
@@ -710,91 +862,139 @@ fn run_rounds(
         if let Some(rec) = rec {
             rec.record(Event::RoundStart {
                 round: stats.rounds,
-                tasks: tasks.len() as u32,
+                tasks: tickets.len() as u32,
                 snapshot_slots: snap.slot_count() as u64,
             });
-            for (worker, task) in tasks.iter().enumerate() {
+            for (worker, task) in tickets.iter().enumerate() {
                 rec.record(Event::TaskStart {
                     seq: task.seq,
                     worker: worker as u32,
                     iters: task.iters.len() as u32,
                 });
+                if params.trace_tickets {
+                    rec.record(Event::TicketIssued {
+                        seq: task.seq,
+                        epoch: task.epoch,
+                        iters: task.iters.len() as u32,
+                    });
+                }
             }
         }
-        let bufs: Vec<TxBuffers> = tasks.iter().map(|_| pool.acquire()).collect();
-        let wall_t = wall.map(|_| Instant::now());
-        let results = exec(&snap, tasks, bufs, base, reds);
-        if let (Some(w), Some(t)) = (wall, wall_t) {
-            w.add(Phase::Execute, t.elapsed().as_secs_f64());
-        }
+        let bufs: Vec<TxBuffers> = tickets.iter().map(|_| pool.acquire()).collect();
+        // Workers read the reduction registry through a shared handle;
+        // merges happen in the sink below, on this thread, against `reds`
+        // itself. The handle's values are identical under every driver.
+        let exec_reds = Arc::new(reds.clone());
 
-        // Validate and commit in deterministic task order. Each committed
-        // write set is remembered with its owner's sequence number so a
-        // later conflict can name the transaction it lost to.
+        // Validate and commit strictly in ticket order. The sink below is
+        // the single committer every driver feeds — barrier drivers once
+        // the whole round has joined, the pipelined driver ticket by ticket
+        // as lanes deliver. Each committed write set is remembered with its
+        // owner's sequence number so a later conflict can name the
+        // transaction it lost to.
         let mut squash = false;
         let mut squashed_by: u64 = 0;
+        // Out-of-band wall bookkeeping: under the pipelined driver the
+        // committer's validate/commit spans land *inside* the exec span, so
+        // the sink measures them and the remainder approximates execution.
+        let mut sink_secs = 0.0f64;
         reports.clear();
-        for (worker, (task, outcome)) in results.into_iter().enumerate() {
-            let (mut effects, deltas) = match outcome {
-                Ok(v) => v,
-                Err(TaskPanic::Oom(me)) => {
-                    if let Some(rec) = rec {
-                        rec.record(Event::Oom {
+        let round_wall_t = wall.map(|_| Instant::now());
+        let mut sink =
+            |worker: usize, task: Ticket, outcome: TaskOutcome| -> Result<(), RunError> {
+                let (mut effects, deltas) = match outcome {
+                    Ok(v) => v,
+                    Err(TaskPanic::Oom(me)) => {
+                        if let Some(rec) = rec {
+                            rec.record(Event::Oom {
+                                words: me.words,
+                                budget: me.budget,
+                            });
+                        }
+                        return Err(RunError::OutOfMemory {
                             words: me.words,
                             budget: me.budget,
                         });
                     }
-                    return Err(RunError::OutOfMemory {
-                        words: me.words,
-                        budget: me.budget,
-                    });
-                }
-                Err(TaskPanic::Crash(msg)) => {
-                    if let Some(rec) = rec {
-                        rec.record(Event::Crash {
-                            message: msg.clone(),
-                        });
+                    Err(TaskPanic::Crash(msg)) => {
+                        if let Some(rec) = rec {
+                            rec.record(Event::Crash {
+                                message: msg.clone(),
+                            });
+                        }
+                        return Err(RunError::Crash(msg));
                     }
-                    return Err(RunError::Crash(msg));
-                }
-            };
+                };
 
-            stats.attempts += 1;
-            stats.tx_stats.add(&effects.stats);
-            round_execute +=
-                effects.stats.work + effects.stats.read_words + effects.stats.write_words;
-            let tracked = effects.reads.words() + effects.writes.words();
-            stats.tracked_words += tracked;
-            stats.max_tracked_words = stats.max_tracked_words.max(tracked);
+                stats.attempts += 1;
+                stats.tx_stats.add(&effects.stats);
+                round_execute +=
+                    effects.stats.work + effects.stats.read_words + effects.stats.write_words;
+                let tracked = effects.reads.words() + effects.writes.words();
+                stats.tracked_words += tracked;
+                stats.max_tracked_words = stats.max_tracked_words.max(tracked);
 
-            let mut validate_words = 0;
-            let mut conflict: Option<ConflictDetail> = None;
-            let wall_t = wall.map(|_| Instant::now());
-            if !squash && params.fast_validation {
-                // Fast path: one fingerprint test against the union of the
-                // round's committed write sets. A reject proves disjointness
-                // from every earlier writer with no scan at all; a hit runs
-                // one exact scan against the merged set instead of one per
-                // earlier writer.
-                let conflicted =
-                    if round_writes.is_empty() || params.conflict == ConflictPolicy::None {
-                        false
-                    } else if may_conflict(params.conflict, &effects, &merged_writes) {
-                        stats.fingerprint_hits += 1;
-                        stats.exact_scan_words += merged_writes.words().min(tracked);
-                        conflicts_with(params.conflict, &effects, &merged_writes)
-                    } else {
-                        stats.fingerprint_rejects += 1;
-                        false
-                    };
-                // Attribution runs only on the conflict path: walk the
-                // per-writer log in commit order to name the first earlier
-                // transaction this one lost to — the same writer and word
-                // the per-writer scan would have reported.
-                let mut winner_index = round_writes.len();
-                if conflicted {
-                    for (i, (winner_seq, earlier)) in round_writes.iter().enumerate() {
-                        stats.exact_scan_words += earlier.words().min(tracked);
+                let mut validate_words = 0;
+                let mut conflict: Option<ConflictDetail> = None;
+                let wall_t = wall.map(|_| Instant::now());
+                if !squash && params.fast_validation {
+                    // Fast path: one fingerprint test against the union of the
+                    // round's committed write sets. A reject proves disjointness
+                    // from every earlier writer with no scan at all; a hit runs
+                    // one exact scan against the merged set instead of one per
+                    // earlier writer.
+                    let conflicted =
+                        if round_writes.is_empty() || params.conflict == ConflictPolicy::None {
+                            false
+                        } else if may_conflict(params.conflict, &effects, &merged_writes) {
+                            stats.fingerprint_hits += 1;
+                            stats.exact_scan_words += merged_writes.words().min(tracked);
+                            conflicts_with(params.conflict, &effects, &merged_writes)
+                        } else {
+                            stats.fingerprint_rejects += 1;
+                            false
+                        };
+                    // Attribution runs only on the conflict path: walk the
+                    // per-writer log in commit order to name the first earlier
+                    // transaction this one lost to — the same writer and word
+                    // the per-writer scan would have reported.
+                    let mut winner_index = round_writes.len();
+                    if conflicted {
+                        for (i, (winner_seq, earlier)) in round_writes.iter().enumerate() {
+                            stats.exact_scan_words += earlier.words().min(tracked);
+                            if conflicts_with(params.conflict, &effects, earlier) {
+                                let (kind, obj, word) =
+                                    locate_conflict(params.conflict, &effects, earlier)
+                                        .expect("overlap test and locate must agree");
+                                conflict = Some(ConflictDetail {
+                                    kind,
+                                    obj,
+                                    word,
+                                    winner_seq: *winner_seq,
+                                });
+                                winner_index = i;
+                                break;
+                            }
+                        }
+                        debug_assert!(
+                            conflict.is_some(),
+                            "a conflict with the union names some individual writer"
+                        );
+                    }
+                    // Trace-visible accounting stays on the legacy per-writer
+                    // formula — the words the exact scan *would* have compared,
+                    // up to and including the conflicting writer — so event
+                    // payloads (and trace hashes) are identical with the fast
+                    // path on or off. `words()` is O(1), so this costs nothing.
+                    for (_, earlier) in round_writes.iter().take(winner_index + 1) {
+                        validate_words += earlier.words().min(tracked);
+                    }
+                } else if !squash {
+                    for (winner_seq, earlier) in &round_writes {
+                        validate_words += earlier.words().min(tracked);
+                        if params.conflict != ConflictPolicy::None {
+                            stats.exact_scan_words += earlier.words().min(tracked);
+                        }
                         if conflicts_with(params.conflict, &effects, earlier) {
                             let (kind, obj, word) =
                                 locate_conflict(params.conflict, &effects, earlier)
@@ -805,180 +1005,224 @@ fn run_rounds(
                                 word,
                                 winner_seq: *winner_seq,
                             });
-                            winner_index = i;
                             break;
                         }
                     }
-                    debug_assert!(
-                        conflict.is_some(),
-                        "a conflict with the union names some individual writer"
-                    );
                 }
-                // Trace-visible accounting stays on the legacy per-writer
-                // formula — the words the exact scan *would* have compared,
-                // up to and including the conflicting writer — so event
-                // payloads (and trace hashes) are identical with the fast
-                // path on or off. `words()` is O(1), so this costs nothing.
-                for (_, earlier) in round_writes.iter().take(winner_index + 1) {
-                    validate_words += earlier.words().min(tracked);
-                }
-            } else if !squash {
-                for (winner_seq, earlier) in &round_writes {
-                    validate_words += earlier.words().min(tracked);
-                    if params.conflict != ConflictPolicy::None {
-                        stats.exact_scan_words += earlier.words().min(tracked);
-                    }
-                    if conflicts_with(params.conflict, &effects, earlier) {
-                        let (kind, obj, word) = locate_conflict(params.conflict, &effects, earlier)
-                            .expect("overlap test and locate must agree");
-                        conflict = Some(ConflictDetail {
-                            kind,
-                            obj,
-                            word,
-                            winner_seq: *winner_seq,
-                        });
-                        break;
-                    }
-                }
-            }
-            if let (Some(w), Some(t)) = (wall, wall_t) {
-                w.add(Phase::Validate, t.elapsed().as_secs_f64());
-            }
-            stats.validate_words += validate_words;
-            round_validate += validate_words;
-
-            let mut report = TaskReport {
-                seq: task.seq,
-                worker,
-                iters: task.iters.len() as u32,
-                committed: false,
-                squashed: squash,
-                stats: effects.stats,
-                read_words: effects.reads.words(),
-                write_words: effects.writes.words(),
-                validate_words,
-                instr_read_ops: if mode.tracks_reads() {
-                    effects.stats.read_ops
-                } else {
-                    0
-                },
-                instr_write_ops: if mode.tracks_writes() {
-                    effects.stats.write_ops
-                } else {
-                    0
-                },
-                overlay_words: effects.overlay.values().map(|o| o.len() as u64).sum(),
-                alloc_words: effects.allocs.iter().map(|(_, o)| o.len() as u64).sum(),
-                write_ranges: effects.writes.range_count() as u64,
-                conflict,
-            };
-
-            // Opt-in sanitizer payload: the full tracked sets, emitted just
-            // before the verdict event they justify.
-            if params.record_sets {
-                if let Some(rec) = rec {
-                    rec.record(Event::TaskSets {
-                        seq: task.seq,
-                        reads: alter_trace::render_set(&effects.reads),
-                        writes: alter_trace::render_set(&effects.writes),
-                    });
-                }
-            }
-
-            if squash || conflict.is_some() {
-                if let Some(rec) = rec {
-                    if let Some(c) = conflict {
-                        rec.record(Event::ValidateConflict {
-                            seq: task.seq,
-                            kind: c.kind,
-                            obj: c.obj,
-                            word: c.word,
-                            winner_seq: c.winner_seq,
-                        });
-                    } else {
-                        rec.record(Event::Squash {
-                            seq: task.seq,
-                            by_seq: squashed_by,
-                        });
-                    }
-                }
-                if conflict.is_some() && params.order == CommitOrder::InOrder {
-                    squash = true;
-                    squashed_by = task.seq;
-                }
-                pending.push_back(task);
-                pool.release(TxBuffers {
-                    overlay: std::mem::take(&mut effects.overlay),
-                    reads: std::mem::take(&mut effects.reads),
-                    writes: std::mem::take(&mut effects.writes),
-                });
-            } else {
-                report.committed = true;
-                stats.committed += 1;
-                stats.iterations += task.iters.len() as u64;
-                round_commit += report.write_words + report.alloc_words;
-                let wall_t = wall.map(|_| Instant::now());
-                if let Some(rec) = rec {
-                    rec.record(Event::ValidateOk {
-                        seq: task.seq,
-                        validate_words,
-                    });
-                    rec.record(Event::Commit {
-                        seq: task.seq,
-                        read_words: report.read_words,
-                        write_words: report.write_words,
-                        allocs: effects.allocs.len() as u32,
-                        frees: effects.frees.len() as u32,
-                    });
-                }
-                // A type-mismatched reduction (e.g. a boolean operator on a
-                // float variable) is an invalid annotation; report it as a
-                // crash of the candidate program rather than unwinding.
-                let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    for d in &deltas {
-                        reds.merge(d);
-                    }
-                }));
-                if let Err(payload) = merged {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                        .unwrap_or_else(|| "reduction merge failed".to_owned());
-                    if let Some(rec) = rec {
-                        rec.record(Event::Crash {
-                            message: msg.clone(),
-                        });
-                    }
-                    return Err(RunError::Crash(msg));
-                }
-                if let Some(rec) = rec {
-                    for d in &deltas {
-                        rec.record(Event::ReductionMerge {
-                            seq: task.seq,
-                            var: d.var.index() as u32,
-                            op: d.op.as_str(),
-                        });
-                    }
-                }
-                heap.apply_commit(build_commit_ops(&mut effects, mode));
-                // The committed write set moves into the round log (no
-                // clone — `build_commit_ops` only borrowed it); the rest of
-                // the transaction's buffers go back to the pool, along with
-                // a recycled set to keep the returned buffers complete.
-                let writes = std::mem::replace(&mut effects.writes, pool.acquire_set());
-                merged_writes.union_with(&writes);
-                round_writes.push((task.seq, writes));
-                pool.release(TxBuffers {
-                    overlay: std::mem::take(&mut effects.overlay),
-                    reads: std::mem::take(&mut effects.reads),
-                    writes: std::mem::take(&mut effects.writes),
-                });
                 if let (Some(w), Some(t)) = (wall, wall_t) {
-                    w.add(Phase::Commit, t.elapsed().as_secs_f64());
+                    let dt = t.elapsed().as_secs_f64();
+                    sink_secs += dt;
+                    w.add(Phase::Validate, dt);
                 }
+                stats.validate_words += validate_words;
+                round_validate += validate_words;
+
+                let mut report = TaskReport {
+                    seq: task.seq,
+                    worker,
+                    iters: task.iters.len() as u32,
+                    committed: false,
+                    squashed: squash,
+                    stats: effects.stats,
+                    read_words: effects.reads.words(),
+                    write_words: effects.writes.words(),
+                    validate_words,
+                    instr_read_ops: if mode.tracks_reads() {
+                        effects.stats.read_ops
+                    } else {
+                        0
+                    },
+                    instr_write_ops: if mode.tracks_writes() {
+                        effects.stats.write_ops
+                    } else {
+                        0
+                    },
+                    overlay_words: effects.overlay.values().map(|o| o.len() as u64).sum(),
+                    alloc_words: effects.allocs.iter().map(|(_, o)| o.len() as u64).sum(),
+                    write_ranges: effects.writes.range_count() as u64,
+                    conflict,
+                };
+
+                // Opt-in sanitizer payload: the full tracked sets, emitted just
+                // before the verdict event they justify.
+                if params.record_sets {
+                    if let Some(rec) = rec {
+                        rec.record(Event::TaskSets {
+                            seq: task.seq,
+                            reads: alter_trace::render_set(&effects.reads),
+                            writes: alter_trace::render_set(&effects.writes),
+                        });
+                    }
+                }
+
+                if squash || conflict.is_some() {
+                    if let Some(rec) = rec {
+                        if let Some(c) = conflict {
+                            rec.record(Event::ValidateConflict {
+                                seq: task.seq,
+                                kind: c.kind,
+                                obj: c.obj,
+                                word: c.word,
+                                winner_seq: c.winner_seq,
+                            });
+                        } else {
+                            rec.record(Event::Squash {
+                                seq: task.seq,
+                                by_seq: squashed_by,
+                            });
+                        }
+                        if params.trace_tickets {
+                            // The re-queue executes against the next round's
+                            // snapshot — announce the fresh epoch it will get.
+                            rec.record(Event::TicketRequeued {
+                                seq: task.seq,
+                                epoch: task.epoch + 1,
+                            });
+                        }
+                    }
+                    if conflict.is_some() && params.order == CommitOrder::InOrder {
+                        squash = true;
+                        squashed_by = task.seq;
+                    }
+                    stats.tickets_requeued += 1;
+                    sequencer.requeue(task);
+                    pool.release(TxBuffers {
+                        overlay: std::mem::take(&mut effects.overlay),
+                        reads: std::mem::take(&mut effects.reads),
+                        writes: std::mem::take(&mut effects.writes),
+                    });
+                } else {
+                    report.committed = true;
+                    stats.committed += 1;
+                    stats.iterations += task.iters.len() as u64;
+                    round_commit += report.write_words + report.alloc_words;
+                    let wall_t = wall.map(|_| Instant::now());
+                    if let Some(rec) = rec {
+                        rec.record(Event::ValidateOk {
+                            seq: task.seq,
+                            validate_words,
+                        });
+                        rec.record(Event::Commit {
+                            seq: task.seq,
+                            read_words: report.read_words,
+                            write_words: report.write_words,
+                            allocs: effects.allocs.len() as u32,
+                            frees: effects.frees.len() as u32,
+                        });
+                        if params.trace_tickets {
+                            rec.record(Event::TicketValidated {
+                                seq: task.seq,
+                                epoch: task.epoch,
+                            });
+                        }
+                    }
+                    // A type-mismatched reduction (e.g. a boolean operator on a
+                    // float variable) is an invalid annotation; report it as a
+                    // crash of the candidate program rather than unwinding.
+                    let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for d in &deltas {
+                            reds.merge(d);
+                        }
+                    }));
+                    if let Err(payload) = merged {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                            .unwrap_or_else(|| "reduction merge failed".to_owned());
+                        if let Some(rec) = rec {
+                            rec.record(Event::Crash {
+                                message: msg.clone(),
+                            });
+                        }
+                        return Err(RunError::Crash(msg));
+                    }
+                    if let Some(rec) = rec {
+                        for d in &deltas {
+                            rec.record(Event::ReductionMerge {
+                                seq: task.seq,
+                                var: d.var.index() as u32,
+                                op: d.op.as_str(),
+                            });
+                        }
+                    }
+                    heap.apply_commit(build_commit_ops(&mut effects, mode));
+                    // The committed write set moves into the round log (no
+                    // clone — `build_commit_ops` only borrowed it); the rest of
+                    // the transaction's buffers go back to the pool, along with
+                    // a recycled set to keep the returned buffers complete.
+                    let writes = std::mem::replace(&mut effects.writes, pool.acquire_set());
+                    merged_writes.union_with(&writes);
+                    round_writes.push((task.seq, writes));
+                    pool.release(TxBuffers {
+                        overlay: std::mem::take(&mut effects.overlay),
+                        reads: std::mem::take(&mut effects.reads),
+                        writes: std::mem::take(&mut effects.writes),
+                    });
+                    if let (Some(w), Some(t)) = (wall, wall_t) {
+                        let dt = t.elapsed().as_secs_f64();
+                        sink_secs += dt;
+                        w.add(Phase::Commit, dt);
+                    }
+                }
+                reports.push(report);
+                Ok(())
+            };
+        exec(&snap, tickets, bufs, base, exec_reds, &mut sink)?;
+        if let (Some(w), Some(t)) = (wall, round_wall_t) {
+            w.add(
+                Phase::Execute,
+                (t.elapsed().as_secs_f64() - sink_secs).max(0.0),
+            );
+        }
+
+        // Deterministic virtual-time pipeline accounting — never wall
+        // clock, computed from the same per-task counters every driver
+        // reports identically, so the sequential driver *simulates* exactly
+        // the figures the threaded drivers would measure. Executing ticket
+        // s costs its declared work plus instrumented words; retiring it
+        // costs its validation words plus, if it committed, the words it
+        // published. The model — not the drive mode — follows the pipeline
+        // knobs, and the phase-cost ledger above is untouched by it.
+        let streaming = params.pipelined && params.pipeline_depth >= 2;
+        let exec_cost = |r: &TaskReport| r.stats.work + r.stats.read_words + r.stats.write_words;
+        let retire_cost = |r: &TaskReport| {
+            r.validate_words
+                + if r.committed {
+                    r.write_words + r.alloc_words
+                } else {
+                    0
+                }
+        };
+        if !reports.is_empty() {
+            let mut stall: u64 = 0;
+            let end = if streaming {
+                // Pipelined: every lane starts at t=0 and delivers at its
+                // execute cost; the committer retires tickets in order,
+                // stalling only where in-order consumption cannot hide a
+                // late lane behind earlier retire work.
+                let mut fin: u64 = 0;
+                for (s, r) in reports.iter().enumerate() {
+                    let done = exec_cost(r);
+                    stall += if s == 0 {
+                        done
+                    } else {
+                        done.saturating_sub(fin)
+                    };
+                    fin = fin.max(done) + retire_cost(r);
+                }
+                fin
+            } else {
+                // Barrier: the committer cannot start until the slowest
+                // lane joins, then retires everything back to back.
+                let slowest = reports.iter().map(&exec_cost).max().unwrap_or(0);
+                stall = slowest;
+                slowest + reports.iter().map(retire_cost).sum::<u64>()
+            };
+            stats.committer_stall_units += stall;
+            for r in &reports {
+                stats.worker_idle_units += end.saturating_sub(exec_cost(r));
             }
-            reports.push(report);
         }
 
         // Close the round's phase ledger: fold it into the run statistics
@@ -1060,6 +1304,72 @@ mod tests {
         p.conflict = conflict;
         p.order = order;
         p
+    }
+
+    /// The masking contract of [`RunStats::modulo_drive_mode`], pinned as a
+    /// test so a future counter cannot silently dodge it: with every field
+    /// non-zero, masking zeroes exactly the five scheduling-telemetry
+    /// counters — `pool_round_handoffs`, `tickets_issued`,
+    /// `tickets_requeued`, `committer_stall_units`, `worker_idle_units` —
+    /// and passes every other field through untouched.
+    #[test]
+    fn modulo_drive_mode_masks_exactly_the_schedule_counters() {
+        let full = RunStats {
+            rounds: 1,
+            attempts: 2,
+            committed: 3,
+            iterations: 4,
+            tx_stats: TxStats {
+                read_ops: 5,
+                read_words: 6,
+                write_ops: 7,
+                write_words: 8,
+                work: 9,
+                traffic_words: 10,
+                allocs: 11,
+                frees: 12,
+            },
+            tracked_words: 13,
+            max_tracked_words: 14,
+            validate_words: 15,
+            fingerprint_hits: 16,
+            fingerprint_rejects: 17,
+            pool_reuses: 18,
+            exact_scan_words: 19,
+            snapshot_slots_copied: 20,
+            snapshot_pages_reused: 21,
+            pool_round_handoffs: 22,
+            tickets_issued: 23,
+            tickets_requeued: 24,
+            committer_stall_units: 25,
+            worker_idle_units: 26,
+            phase_costs: PhaseCosts {
+                snapshot: 27,
+                execute: 28,
+                validate: 29,
+                commit: 30,
+            },
+        };
+        let masked = full.modulo_drive_mode();
+        // The masked counters are zeroed...
+        assert_eq!(masked.pool_round_handoffs, 0);
+        assert_eq!(masked.tickets_issued, 0);
+        assert_eq!(masked.tickets_requeued, 0);
+        assert_eq!(masked.committer_stall_units, 0);
+        assert_eq!(masked.worker_idle_units, 0);
+        // ...and nothing else moved: re-zeroing the same five fields on the
+        // original must reproduce the masked value exactly.
+        let expect = RunStats {
+            pool_round_handoffs: 0,
+            tickets_issued: 0,
+            tickets_requeued: 0,
+            committer_stall_units: 0,
+            worker_idle_units: 0,
+            ..full
+        };
+        assert_eq!(masked, expect);
+        // Masking is idempotent.
+        assert_eq!(masked.modulo_drive_mode(), masked);
     }
 
     /// A DOALL loop: every iteration writes its own element.

@@ -69,7 +69,7 @@ pub use engine::{
 };
 pub use executor::{run_loop, run_loop_observed, Driver, LoopBuilder};
 pub use params::{CommitOrder, ConflictPolicy, ExecParams};
-pub use pool::WorkerPool;
+pub use pool::{TicketStream, WorkerPool};
 pub use reduction::{RedDelta, RedLocals, RedVal, RedVarId, RedVars};
 pub use replay::{diverge_bisect, Divergence, ReplayOutcome, SetDelta};
 pub use space::{IterSpace, RangeSpace, SeqSpace};

@@ -150,6 +150,33 @@ pub struct ExecParams {
     /// time is nondeterministic), so it never affects traces or hashes; the
     /// CLIs attach one under `ALTER_PROFILE_WALL=1`.
     pub wall_profile: Option<Arc<alter_trace::WallProfile>>,
+    /// Drive rounds through the ticketed pipeline committer: the persistent
+    /// worker pool streams each ticket's result back as soon as its lane
+    /// finishes, and the committer validates/commits strictly in ticket
+    /// order while later lanes are still executing — instead of waiting at
+    /// the round barrier for the slowest task. Commit order, committed
+    /// state, traces and semantic statistics are identical to the lock-step
+    /// drivers; only the drive-mode counters
+    /// ([`crate::RunStats::committer_stall_units`],
+    /// [`crate::RunStats::worker_idle_units`]) see the overlap. Off by
+    /// default. Requires the threaded driver with `worker_pool` to overlap
+    /// for real; other drivers honour the flag by charging the pipelined
+    /// virtual-time model (a sequential simulation of the same schedule).
+    pub pipelined: bool,
+    /// Committer lookahead for the pipelined driver. `1` degenerates to
+    /// today's barrier behaviour (the committer starts only once the whole
+    /// round has executed); `≥ 2` streams tickets through the committer as
+    /// lanes deliver them. Values above 2 are accepted as headroom for
+    /// future cross-epoch staging — the current engine never holds more
+    /// than one round of tickets in flight. Ignored unless `pipelined`.
+    pub pipeline_depth: usize,
+    /// Emit `TicketIssued`/`TicketValidated`/`TicketRequeued` lifecycle
+    /// events into the trace. Off by default so existing canonical traces
+    /// and their hashes are unchanged; when on, *every* driver emits the
+    /// identical ticket lifecycle at the identical points, so the events
+    /// never break cross-driver trace identity. No effect without a
+    /// recorder.
+    pub trace_tickets: bool,
 }
 
 impl std::fmt::Debug for ExecParams {
@@ -170,6 +197,9 @@ impl std::fmt::Debug for ExecParams {
             .field("record_sets", &self.record_sets)
             .field("profile_phases", &self.profile_phases)
             .field("wall_profile", &self.wall_profile.is_some())
+            .field("pipelined", &self.pipelined)
+            .field("pipeline_depth", &self.pipeline_depth)
+            .field("trace_tickets", &self.trace_tickets)
             .finish()
     }
 }
@@ -194,6 +224,9 @@ impl ExecParams {
             record_sets: false,
             profile_phases: false,
             wall_profile: None,
+            pipelined: false,
+            pipeline_depth: 4,
+            trace_tickets: false,
         }
     }
 
@@ -329,6 +362,26 @@ impl ExecParams {
         self
     }
 
+    /// Builder-style: drive rounds through the ticketed pipeline committer
+    /// (off by default; see [`ExecParams::pipelined`]).
+    pub fn with_pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Builder-style: set the pipelined committer's lookahead depth
+    /// (default 4; `1` degenerates to the round barrier).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style: emit ticket-lifecycle trace events (off by default).
+    pub fn with_trace_tickets(mut self, on: bool) -> Self {
+        self.trace_tickets = on;
+        self
+    }
+
     /// Short human-readable form, e.g. `WAW/OutOfOrder cf=16 N=4`.
     pub fn describe(&self) -> String {
         format!(
@@ -407,6 +460,12 @@ mod tests {
         assert_eq!(p.chunk, 1);
         assert_eq!(p.budget_words, 100);
         assert_eq!(p.work_budget, Some(1000));
+        assert!(!p.pipelined, "pipelining is opt-in");
+        let piped = ExecParams::new(4, 16)
+            .with_pipelined(true)
+            .with_pipeline_depth(0);
+        assert!(piped.pipelined);
+        assert_eq!(piped.pipeline_depth, 1, "depth clamps to 1");
         assert_eq!(
             ExecParams::new(4, 16).describe(),
             "WAW/OutOfOrder cf=16 N=4"

@@ -103,31 +103,92 @@ impl<J, R> WorkerPool<J, R> {
     /// Panics if `jobs.len()` exceeds the worker count, or if a worker
     /// thread died (a worker panic propagates when the owning scope joins).
     pub fn run_round(&mut self, jobs: Vec<J>) -> Vec<R> {
+        let mut stream = self.stream_round(jobs);
+        let mut out = Vec::with_capacity(stream.remaining());
+        while let Some(r) = stream.next_ticket() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Dispatches one round's jobs (job *i* to lane *i*) and returns a
+    /// stream that yields each lane's result **in ticket order** as soon as
+    /// it is available — the barrier-free handoff behind the pipelined
+    /// committer. Lane *i+1* keeps executing while the caller consumes
+    /// ticket *i*; [`WorkerPool::run_round`] is exactly this stream drained
+    /// to a `Vec`.
+    ///
+    /// Dropping the stream early (committer abort) drains the outstanding
+    /// results so the lanes stay aligned for the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs.len()` exceeds the worker count, or if a worker
+    /// thread died (a worker panic propagates when the owning scope joins).
+    pub fn stream_round(&mut self, jobs: Vec<J>) -> TicketStream<'_, J, R> {
         assert!(
             jobs.len() <= self.workers.len(),
             "round of {} jobs exceeds {} workers",
             jobs.len(),
             self.workers.len()
         );
-        if jobs.is_empty() {
-            return Vec::new();
-        }
-        self.handoffs += 1;
         let n = jobs.len();
+        if n > 0 {
+            self.handoffs += 1;
+        }
         for (w, job) in jobs.into_iter().enumerate() {
             self.workers[w]
                 .job_tx
                 .send(job)
                 .expect("pool worker exited early");
         }
-        (0..n)
-            .map(|w| {
-                self.workers[w]
-                    .result_rx
-                    .recv()
-                    .expect("pool worker exited early")
-            })
-            .collect()
+        TicketStream {
+            pool: self,
+            next: 0,
+            n,
+        }
+    }
+}
+
+/// In-order result stream for one dispatched round; see
+/// [`WorkerPool::stream_round`].
+pub struct TicketStream<'p, J, R> {
+    pool: &'p mut WorkerPool<J, R>,
+    next: usize,
+    n: usize,
+}
+
+impl<J, R> TicketStream<'_, J, R> {
+    /// Blocks for and returns the next lane's result in ticket order, or
+    /// `None` once the round is drained.
+    pub fn next_ticket(&mut self) -> Option<R> {
+        if self.next >= self.n {
+            return None;
+        }
+        let r = self.pool.workers[self.next]
+            .result_rx
+            .recv()
+            .expect("pool worker exited early");
+        self.next += 1;
+        Some(r)
+    }
+
+    /// Tickets not yet consumed from this round.
+    pub fn remaining(&self) -> usize {
+        self.n - self.next
+    }
+}
+
+impl<J, R> Drop for TicketStream<'_, J, R> {
+    fn drop(&mut self) {
+        // Drain lanes the caller abandoned so the next round's results
+        // can't interleave with this one's. A worker that died mid-round
+        // shows up as a closed channel here; ignore it — its panic
+        // propagates when the owning scope joins.
+        while self.next < self.n {
+            let _ = self.pool.workers[self.next].result_rx.recv();
+            self.next += 1;
+        }
     }
 }
 
@@ -169,6 +230,43 @@ mod tests {
             }
             assert_eq!(pool.run_round(Vec::new()), Vec::<u64>::new());
             assert_eq!(pool.round_handoffs(), 100, "empty rounds don't count");
+        });
+    }
+
+    #[test]
+    fn stream_yields_in_ticket_order_while_later_lanes_run() {
+        // Lane 0 is the slowest; the stream must still yield 0, 1, 2, 3.
+        let f = |worker: usize, x: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(2 * x));
+            (worker, x)
+        };
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::new(scope, 4, &f);
+            let mut stream = pool.stream_round(vec![8, 2, 1, 0]);
+            assert_eq!(stream.remaining(), 4);
+            let mut seen = Vec::new();
+            while let Some((w, x)) = stream.next_ticket() {
+                seen.push((w, x));
+            }
+            assert_eq!(seen, vec![(0, 8), (1, 2), (2, 1), (3, 0)]);
+            assert_eq!(stream.next_ticket(), None);
+            drop(stream);
+            assert_eq!(pool.round_handoffs(), 1);
+        });
+    }
+
+    #[test]
+    fn dropping_a_stream_early_drains_the_round() {
+        let f = |_w: usize, x: u64| x * 2;
+        std::thread::scope(|scope| {
+            let mut pool = WorkerPool::new(scope, 3, &f);
+            {
+                let mut stream = pool.stream_round(vec![1, 2, 3]);
+                assert_eq!(stream.next_ticket(), Some(2));
+                // Tickets 1 and 2 are abandoned; the drop must drain them.
+            }
+            // A clean next round proves no stale results interleaved.
+            assert_eq!(pool.run_round(vec![10, 20]), vec![20, 40]);
         });
     }
 

@@ -41,6 +41,11 @@ pub struct JournalHeader {
     pub record_sets: bool,
     /// Whether `PhaseProfile` events were recorded.
     pub profile_phases: bool,
+    /// Pipelined-committer lookahead the run was recorded under: 0 means
+    /// the lock-step (barrier) driver, `n ≥ 1` means the ticketed pipeline
+    /// driver with `pipeline_depth = n`. Absent in pre-pipeline journals,
+    /// which read back as 0.
+    pub pipeline_depth: u32,
     /// Trace hash of the recorded event stream (FNV-1a over the canonical
     /// JSONL bytes, header excluded).
     pub trace_hash: u64,
@@ -60,8 +65,12 @@ impl JournalHeader {
         escape_into(&mut s, &self.annotation);
         let _ = write!(
             s,
-            "\",\"workers\":{},\"record_sets\":{},\"profile\":{},\"hash\":{}}}",
-            self.workers, self.record_sets as u8, self.profile_phases as u8, self.trace_hash
+            "\",\"workers\":{},\"record_sets\":{},\"profile\":{},\"pipeline\":{},\"hash\":{}}}",
+            self.workers,
+            self.record_sets as u8,
+            self.profile_phases as u8,
+            self.pipeline_depth,
+            self.trace_hash
         );
         s
     }
@@ -95,6 +104,13 @@ impl JournalHeader {
             workers: f.int32("workers")?,
             record_sets: flag("record_sets")?,
             profile_phases: flag("profile")?,
+            // Pre-pipeline journals have no `pipeline` field; default to
+            // the lock-step driver so old recordings stay readable.
+            pipeline_depth: match f.int32("pipeline") {
+                Ok(n) => n,
+                Err(msg) if msg.starts_with("missing field") => 0,
+                Err(msg) => return Err(msg),
+            },
             trace_hash: f.int("hash")?,
         })
     }
@@ -314,6 +330,7 @@ mod tests {
             workers: 4,
             record_sets: true,
             profile_phases: true,
+            pipeline_depth: 0,
             trace_hash: 0,
         }
     }
@@ -452,11 +469,26 @@ mod tests {
         let mut h = header();
         h.record_sets = false;
         h.profile_phases = false;
+        h.pipeline_depth = 4;
         let j = Journal::new(h, run_events()).unwrap();
         let back = Journal::from_jsonl(&j.to_jsonl()).unwrap();
         assert!(!back.header().record_sets);
         assert!(!back.header().profile_phases);
+        assert_eq!(back.header().pipeline_depth, 4);
         assert_eq!(back.header().workload, "genome");
         assert_eq!(back.header().workers, 4);
+    }
+
+    #[test]
+    fn pre_pipeline_headers_default_to_lock_step() {
+        // Journals written before the pipeline field existed must still
+        // load; a missing `pipeline` reads back as 0 (lock-step).
+        let j = Journal::new(header(), run_events()).unwrap();
+        let text = j.to_jsonl().replace(",\"pipeline\":0", "");
+        let back = Journal::from_jsonl(&text).expect("old header parses");
+        assert_eq!(back.header().pipeline_depth, 0);
+        // A malformed (non-integer) pipeline field is still an error.
+        let bad = j.to_jsonl().replace("\"pipeline\":0", "\"pipeline\":\"x\"");
+        assert!(Journal::from_jsonl(&bad).is_err());
     }
 }

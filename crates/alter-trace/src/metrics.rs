@@ -174,6 +174,17 @@ pub struct Metrics {
     /// Rounds handed to the persistent worker pool (0 under the sequential
     /// and per-round-scope drivers).
     pub pool_round_handoffs: u64,
+    /// Fresh tickets handed out by the sequencer. Reported by the runtime
+    /// (pipeline-ledger bookkeeping, not derived from events).
+    pub tickets_issued: u64,
+    /// Tickets re-queued after a conflict or in-order squash.
+    pub tickets_requeued: u64,
+    /// Deterministic cost units the committer spent stalled waiting for the
+    /// next ticket in order (virtual time, never wall-clock).
+    pub committer_stall_units: u64,
+    /// Deterministic cost units worker lanes spent idle after finishing
+    /// their ticket while the round drained (virtual time).
+    pub worker_idle_units: u64,
 }
 
 impl Metrics {
@@ -216,8 +227,14 @@ impl Metrics {
             Event::Crash { .. } => self.crashes += 1,
             Event::WorkBudgetExceeded { .. } => self.work_budget_exceeded += 1,
             Event::ProbeStart { .. } => self.probes += 1,
+            // Ticket lifecycle events mirror TaskStart/verdict events the
+            // registry already counts; the pipeline counters proper arrive
+            // out-of-band via `record_pipeline_counters`.
             Event::TaskSets { .. }
             | Event::PhaseProfile { .. }
+            | Event::TicketIssued { .. }
+            | Event::TicketValidated { .. }
+            | Event::TicketRequeued { .. }
             | Event::ProbeOutcome { .. }
             | Event::RunEnd { .. } => {}
         }
@@ -255,6 +272,24 @@ impl Metrics {
         self.snapshot_slots_copied += snapshot_slots_copied;
         self.snapshot_pages_reused += snapshot_pages_reused;
         self.pool_round_handoffs += pool_round_handoffs;
+    }
+
+    /// Merges the runtime's ticketed-pipeline counters into the registry.
+    /// Like the other out-of-band counters, these never ride in the event
+    /// stream: the stall/idle units are a pure function of the per-task
+    /// cost model and the configured driver, and traces stay byte-identical
+    /// whichever driver produced them.
+    pub fn record_pipeline_counters(
+        &mut self,
+        tickets_issued: u64,
+        tickets_requeued: u64,
+        committer_stall_units: u64,
+        worker_idle_units: u64,
+    ) {
+        self.tickets_issued += tickets_issued;
+        self.tickets_requeued += tickets_requeued;
+        self.committer_stall_units += committer_stall_units;
+        self.worker_idle_units += worker_idle_units;
     }
 
     /// Fraction of started tasks that did not commit (conflicted, squashed,
@@ -299,6 +334,14 @@ impl Metrics {
             out,
             "  snapshot_slots_copied={} snapshot_pages_reused={} pool_round_handoffs={}",
             self.snapshot_slots_copied, self.snapshot_pages_reused, self.pool_round_handoffs
+        );
+        let _ = writeln!(
+            out,
+            "  tickets_issued={} tickets_requeued={} committer_stall_units={} worker_idle_units={}",
+            self.tickets_issued,
+            self.tickets_requeued,
+            self.committer_stall_units,
+            self.worker_idle_units
         );
         self.read_words.render_into(&mut out, "read_words");
         self.write_words.render_into(&mut out, "write_words");
@@ -421,5 +464,18 @@ mod tests {
         assert_eq!(m.pool_round_handoffs, 7);
         assert!(m.render().contains("snapshot_slots_copied=120"));
         assert!(m.render().contains("pool_round_handoffs=7"));
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate_and_render() {
+        let mut m = Metrics::default();
+        m.record_pipeline_counters(8, 2, 4000, 900);
+        m.record_pipeline_counters(2, 1, 500, 100);
+        assert_eq!(m.tickets_issued, 10);
+        assert_eq!(m.tickets_requeued, 3);
+        assert_eq!(m.committer_stall_units, 4500);
+        assert_eq!(m.worker_idle_units, 1000);
+        assert!(m.render().contains("tickets_requeued=3"));
+        assert!(m.render().contains("committer_stall_units=4500"));
     }
 }

@@ -37,6 +37,11 @@ cargo bench -p alter-bench --bench round_overhead -- --json "$PWD/target/bench-r
 echo
 echo "== phase profiler (per-phase cost units, worker sweep) =="
 cargo bench -p alter-bench --bench phases -- --json "$PWD/target/bench-phases.json"
+echo
+echo "== pipelined committer A/B (stall units vs barrier) =="
+# ALTER_BENCH_WALL=1 adds an informational wall-clock column to the console
+# output; the JSON artifact stays pure cost units either way.
+cargo bench -p alter-bench --bench pipeline -- --json "$PWD/target/bench-pipeline.json"
 
 # Merge the deterministic summaries into the checked-in profile.
 {
@@ -46,8 +51,17 @@ cargo bench -p alter-bench --bench phases -- --json "$PWD/target/bench-phases.js
   cat target/bench-round-overhead.json
   printf ',\n"phases":\n'
   cat target/bench-phases.json
+  printf ',\n"pipeline":\n'
+  cat target/bench-pipeline.json
   printf '}\n'
 } > BENCH_runtime.json
+
+# The printf/cat splice above fails silently if a bench ever changes its
+# output shape, so re-parse the merged file with a strict JSON grammar and
+# fail the script (set -e) before anyone consumes a corrupt profile.
+echo
+echo "== validate merged profile =="
+cargo run -q -p alter-bench --bin alter-check-json -- BENCH_runtime.json
 
 echo
 echo "BENCH_runtime.json:"

@@ -36,11 +36,19 @@ echo "== record/replay identity (determinism gate) =="
 # recorded configuration: the fresh event stream must be byte-identical.
 # On mismatch alter-replay bisects to the first divergent round/event and
 # prints the structured diff, which is exactly what we want in a CI log.
+# Each workload is gated twice: under the lock-step driver and under the
+# ticketed pipeline committer (the journal header carries the pipeline
+# depth, so the replay reconstructs the same driver).
 for w in genome k-means; do
   cargo run --release -q -p alter-bench --bin alter-replay -- \
     record "$w" --sets --profile --out "target/$w.journal" > /dev/null
   cargo run --release -q -p alter-bench --bin alter-replay -- \
     replay "target/$w.journal"
+  cargo run --release -q -p alter-bench --bin alter-replay -- \
+    record "$w" --sets --profile --pipeline-depth 4 \
+    --out "target/$w-pipeline.journal" > /dev/null
+  cargo run --release -q -p alter-bench --bin alter-replay -- \
+    replay "target/$w-pipeline.journal"
 done
 
 echo "== phase-profile baseline (PROFILE.json drift check) =="

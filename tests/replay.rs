@@ -149,6 +149,7 @@ fn journal_for(bench: &dyn Benchmark, events: Vec<Event>) -> Journal {
         workers: 2,
         record_sets: false,
         profile_phases: false,
+        pipeline_depth: 0,
         trace_hash: 0, // recomputed by Journal::new
     };
     Journal::new(header, events).expect("recorded stream is a valid journal")

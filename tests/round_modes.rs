@@ -1,18 +1,23 @@
-//! Round-mode invisibility sweep: the persistent worker pool and the
-//! incremental snapshot cache are pure throughput optimizations, so every
-//! workload must produce a byte-identical event transcript — and therefore
-//! the same trace hash, the same program output (the heap digest each
-//! workload extracts), and the same semantic `RunStats` — across all four
-//! combinations of {sequential, threaded+pool} × {incremental, full}
-//! snapshots, at 1, 2, and 8 workers.
+//! Round-mode invisibility sweep: the persistent worker pool, the
+//! incremental snapshot cache, and the ticketed pipeline committer are pure
+//! throughput optimizations, so every workload must produce a
+//! byte-identical event transcript — and therefore the same trace hash, the
+//! same program output (the heap digest each workload extracts), and the
+//! same semantic `RunStats` — across all combinations of {sequential,
+//! threaded+pool} × {incremental, full} snapshots × {lock-step, pipelined
+//! at depth 1 and 4}, at 1, 2, and 8 workers.
 //!
-//! Drive-mode bookkeeping (`pool_round_handoffs`) and snapshot-economics
-//! counters (`snapshot_slots_copied`, `snapshot_pages_reused`) are the
-//! *only* fields allowed to differ; everything else in `RunStats` is part
-//! of the observable semantics and is compared exactly. Direct final-heap
-//! equality across drive modes is asserted at the engine level
-//! (`alter-runtime`'s `threaded_and_sequential_drivers_are_identical`);
-//! here each workload's output is the heap projection being compared.
+//! Drive-mode bookkeeping (`pool_round_handoffs`, the ticket counters, the
+//! stall/idle telemetry — everything `RunStats::modulo_drive_mode` masks)
+//! and snapshot-economics counters (`snapshot_slots_copied`,
+//! `snapshot_pages_reused`) are the *only* fields allowed to differ;
+//! everything else in `RunStats` is part of the observable semantics and is
+//! compared exactly. Pipeline depth 1 must degenerate all the way: its
+//! *full* `RunStats` — stall model included — equals the pooled lock-step
+//! run's. Direct final-heap equality across drive modes is asserted at the
+//! engine level (`alter-runtime`'s
+//! `threaded_and_sequential_drivers_are_identical`); here each workload's
+//! output is the heap projection being compared.
 
 use alter::infer::ProgramOutput;
 use alter::runtime::RunStats;
@@ -20,19 +25,51 @@ use alter::trace::{to_jsonl, trace_hash, Recorder, RingRecorder};
 use alter::workloads::{all_benchmarks, Benchmark, Scale};
 use std::sync::Arc;
 
+/// One drive-mode configuration of the sweep.
+#[derive(Clone, Copy, Debug)]
+struct Mode {
+    threaded: bool,
+    worker_pool: bool,
+    incremental: bool,
+    pipelined: bool,
+    depth: usize,
+}
+
+impl Mode {
+    const fn lock_step(threaded: bool, worker_pool: bool, incremental: bool) -> Mode {
+        Mode {
+            threaded,
+            worker_pool,
+            incremental,
+            pipelined: false,
+            depth: 1,
+        }
+    }
+
+    const fn pipelined(depth: usize) -> Mode {
+        Mode {
+            threaded: true,
+            worker_pool: true,
+            incremental: true,
+            pipelined: true,
+            depth,
+        }
+    }
+}
+
 /// One traced run of `bench` under its best annotation.
 fn traced(
     bench: &dyn Benchmark,
     workers: usize,
-    threaded: bool,
-    worker_pool: bool,
-    incremental: bool,
+    mode: Mode,
 ) -> (String, u64, ProgramOutput, RunStats) {
     let rec = Arc::new(RingRecorder::default());
     let mut probe = bench.best_probe(workers);
-    probe.threaded = threaded;
-    probe.worker_pool = worker_pool;
-    probe.incremental_snapshots = incremental;
+    probe.threaded = mode.threaded;
+    probe.worker_pool = mode.worker_pool;
+    probe.incremental_snapshots = mode.incremental;
+    probe.pipelined = mode.pipelined;
+    probe.pipeline_depth = mode.depth;
     probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
     let run = bench.run_probe(&probe).expect("probe must complete");
     let events = rec.events();
@@ -58,34 +95,29 @@ fn semantic(stats: &RunStats) -> RunStats {
 fn round_modes_are_invisible_across_the_suite() {
     for bench in all_benchmarks(Scale::Inference) {
         for workers in [1usize, 2, 8] {
-            // (threaded, worker_pool, incremental_snapshots); the first
-            // entry is the baseline every other mode must match.
+            // The first entry is the baseline every other mode must match;
+            // POOLED indexes the pooled lock-step run that pipeline depth 1
+            // must reproduce field for field.
+            const POOLED: usize = 2;
             let modes = [
-                (false, false, true),
-                (false, false, false),
-                (true, true, true),
-                (true, true, false),
+                Mode::lock_step(false, false, true),
+                Mode::lock_step(false, false, false),
+                Mode::lock_step(true, true, true),
+                Mode::lock_step(true, true, false),
+                Mode::pipelined(1),
+                Mode::pipelined(4),
             ];
-            let (jsonl0, hash0, out0, stats0) =
-                traced(bench.as_ref(), workers, modes[0].0, modes[0].1, modes[0].2);
+            let (jsonl0, hash0, out0, stats0) = traced(bench.as_ref(), workers, modes[0]);
             assert_eq!(
                 stats0.pool_round_handoffs,
                 0,
                 "{}/{workers}w: sequential driver must not touch the pool",
                 bench.name()
             );
-            for (threaded, worker_pool, incremental) in &modes[1..] {
-                let tag = format!(
-                    "{}/{workers}w threaded={threaded} pool={worker_pool} incr={incremental}",
-                    bench.name()
-                );
-                let (jsonl, hash, out, stats) = traced(
-                    bench.as_ref(),
-                    workers,
-                    *threaded,
-                    *worker_pool,
-                    *incremental,
-                );
+            let mut pooled_stats = None;
+            for (i, mode) in modes.iter().enumerate().skip(1) {
+                let tag = format!("{}/{workers}w {mode:?}", bench.name());
+                let (jsonl, hash, out, stats) = traced(bench.as_ref(), workers, *mode);
                 assert_eq!(jsonl0, jsonl, "{tag}: transcripts must be byte-identical");
                 assert_eq!(hash0, hash, "{tag}: trace hashes must agree");
                 assert_eq!(out0, out, "{tag}: program outputs must agree");
@@ -94,13 +126,18 @@ fn round_modes_are_invisible_across_the_suite() {
                     semantic(&stats),
                     "{tag}: semantic RunStats must agree"
                 );
-                if *threaded && *worker_pool && workers > 1 {
+                assert_eq!(
+                    stats.tickets_issued + stats.tickets_requeued,
+                    stats.attempts,
+                    "{tag}: every attempt is an issued or re-queued ticket"
+                );
+                if mode.threaded && mode.worker_pool && workers > 1 {
                     assert!(
                         stats.pool_round_handoffs > 0,
                         "{tag}: the pool must actually run rounds"
                     );
                 }
-                if *incremental {
+                if mode.incremental {
                     assert_eq!(
                         stats.snapshot_slots_copied, stats0.snapshot_slots_copied,
                         "{tag}: snapshot economics are deterministic"
@@ -110,6 +147,19 @@ fn round_modes_are_invisible_across_the_suite() {
                         stats.snapshot_slots_copied >= stats0.snapshot_slots_copied,
                         "{tag}: full snapshots can never copy less than \
                          incremental ones"
+                    );
+                }
+                if i == POOLED {
+                    pooled_stats = Some(stats);
+                }
+                if mode.pipelined && mode.depth == 1 {
+                    // Depth 1 is the barrier: same driver, same stall model,
+                    // so even the masked telemetry must agree exactly.
+                    assert_eq!(
+                        pooled_stats.expect("pooled mode runs before pipelined ones"),
+                        stats,
+                        "{tag}: pipeline depth 1 must equal the pooled \
+                         lock-step run field for field"
                     );
                 }
             }
