@@ -46,6 +46,9 @@ commands:
         --profile    record per-round phase_profile cost-unit events
         --pipeline   drive the run with the ticketed pipeline committer
         --pipeline-depth N  committer lookahead (default 4; 1 = barrier)
+        --shards N   heap shard count (default 1; rounded up to a power
+                     of two, capped at 16 — traces are identical at every
+                     count, so this is a perf knob the journal preserves)
   replay <journal>
       re-execute the journal's workload under its recorded configuration
       and verify the fresh event stream is byte-identical; on mismatch,
@@ -112,6 +115,8 @@ struct RecordArgs {
     /// (the journal-header encoding, so a recorded run replays under the
     /// exact driver it was captured with).
     pipeline_depth: u32,
+    /// Heap shard count (journal-header encoding; 1 = the unsharded heap).
+    shards: u32,
 }
 
 /// Shared positional/flag parser for `record` and `profile`.
@@ -126,6 +131,7 @@ fn parse_run_args(args: &[String]) -> Result<(RecordArgs, bool, Option<String>),
     let mut json = None;
     let mut pipeline = false;
     let mut pipeline_depth = 4u32;
+    let mut shards = 1u32;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -144,6 +150,13 @@ fn parse_run_args(args: &[String]) -> Result<(RecordArgs, bool, Option<String>),
                     .ok_or("--pipeline-depth needs a positive integer")?
                     .max(1);
                 pipeline = true;
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or("--shards needs a positive integer")?
+                    .max(1);
             }
             "--out" | "--json" => {
                 let v = it.next().ok_or(format!("{a} needs a file path"))?.clone();
@@ -174,6 +187,7 @@ fn parse_run_args(args: &[String]) -> Result<(RecordArgs, bool, Option<String>),
             sets,
             profile,
             pipeline_depth: if pipeline { pipeline_depth } else { 0 },
+            shards,
         },
         folded,
         json,
@@ -189,6 +203,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     probe.profile_phases = a.profile;
     probe.pipelined = a.pipeline_depth > 0;
     probe.pipeline_depth = a.pipeline_depth.max(1) as usize;
+    probe.shards = a.shards.max(1) as usize;
 
     let (events, verdict) = record_events(bench.as_ref(), &probe);
     if let Err(e) = &verdict {
@@ -202,6 +217,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         record_sets: a.sets,
         profile_phases: a.profile,
         pipeline_depth: a.pipeline_depth,
+        shards: a.shards,
         trace_hash: 0, // recomputed by Journal::new
     };
     let journal = Journal::new(header, events)?;
@@ -238,6 +254,7 @@ fn replay_journal(journal: &Journal) -> Result<Option<String>, String> {
     probe.profile_phases = h.profile_phases;
     probe.pipelined = h.pipeline_depth > 0;
     probe.pipeline_depth = h.pipeline_depth.max(1) as usize;
+    probe.shards = h.shards.max(1) as usize;
     let (events, _) = record_events(bench.as_ref(), &probe);
     match diverge_bisect(journal.events(), &events) {
         ReplayOutcome::Identical { events, hash } => {

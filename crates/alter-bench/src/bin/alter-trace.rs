@@ -55,6 +55,9 @@ flags:
   --pipeline-depth N
                committer lookahead for --pipeline (default 4; 1 degenerates
                to the lock-step barrier)
+  --shards N   heap shard count (default 1; rounded up to a power of two,
+               capped at 16 — identical traces at every count, only the
+               out-of-band shard counters move)
   --tickets    emit ticket-lifecycle events (ticket_issued /
                ticket_validated / ticket_requeued) into the trace; off by
                default so hashes match previous releases
@@ -118,15 +121,17 @@ fn list_workloads() {
 /// perf counters: the validation fast-path quartet `[fingerprint_hits,
 /// fingerprint_rejects, pool_reuses, exact_scan_words]`, the
 /// round-overhead trio `[snapshot_slots_copied, snapshot_pages_reused,
-/// pool_round_handoffs]`, then the pipeline quartet `[tickets_issued,
-/// tickets_requeued, committer_stall_units, worker_idle_units]` (zeros when
-/// the run aborted). The counters travel outside the event stream — traces
-/// are byte-identical whichever fast paths and drivers are enabled.
-fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 11]) {
+/// pool_round_handoffs]`, the pipeline quartet `[tickets_issued,
+/// tickets_requeued, committer_stall_units, worker_idle_units]`, then the
+/// sharding trio `[shard_validate_words, shard_commit_batches,
+/// shard_imbalance_max]` (zeros when the run aborted). The counters travel
+/// outside the event stream — traces are byte-identical whichever fast
+/// paths and drivers are enabled.
+fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64; 14]) {
     let rec = Arc::new(RingRecorder::default());
     let mut probe = probe.clone();
     probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
-    let mut counters = [0u64; 11];
+    let mut counters = [0u64; 14];
     let verdict = match bench.run_probe(&probe) {
         Ok(run) => {
             counters = [
@@ -141,6 +146,9 @@ fn record_run(bench: &dyn Benchmark, probe: &Probe) -> (Vec<Event>, String, [u64
                 run.stats.tickets_requeued,
                 run.stats.committer_stall_units,
                 run.stats.worker_idle_units,
+                run.stats.shard_validate_words,
+                run.stats.shard_commit_batches,
+                run.stats.shard_imbalance_max,
             ];
             format!(
                 "run: ok  (retry rate {:.3}, {:.1} sequential-work units)",
@@ -184,12 +192,13 @@ fn main() -> ExitCode {
     let mut threaded = false;
     let mut pipeline = false;
     let mut pipeline_depth = 4usize;
+    let mut shards = 1usize;
     let mut tickets = false;
     let mut deps = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--workers" | "--chunk" | "--pipeline-depth" => {
+            "--workers" | "--chunk" | "--pipeline-depth" | "--shards" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("error: {a} needs a positive integer");
                     return ExitCode::FAILURE;
@@ -198,6 +207,8 @@ fn main() -> ExitCode {
                     workers = v.max(1);
                 } else if a == "--chunk" {
                     chunk = Some(v.max(1));
+                } else if a == "--shards" {
+                    shards = v.max(1);
                 } else {
                     pipeline_depth = v.max(1);
                     pipeline = true;
@@ -262,6 +273,7 @@ fn main() -> ExitCode {
     probe.threaded = threaded;
     probe.pipelined = pipeline;
     probe.pipeline_depth = pipeline_depth;
+    probe.shards = shards;
     probe.trace_tickets = tickets;
     probe.profile_phases = profile;
     let wall = (profile && std::env::var("ALTER_PROFILE_WALL").is_ok_and(|v| v == "1"))
@@ -286,6 +298,11 @@ fn main() -> ExitCode {
     if pipeline {
         pipeline_note = format!("pipelined committer, depth {pipeline_depth}");
         notes.push(&pipeline_note);
+    }
+    let shard_note;
+    if shards > 1 {
+        shard_note = format!("sharded heap, {shards} shard(s)");
+        notes.push(&shard_note);
     }
     if tickets {
         notes.push("ticket events");
@@ -316,6 +333,7 @@ fn main() -> ExitCode {
     metrics.record_validation_counters(counters[0], counters[1], counters[2], counters[3]);
     metrics.record_round_counters(counters[4], counters[5], counters[6]);
     metrics.record_pipeline_counters(counters[7], counters[8], counters[9], counters[10]);
+    metrics.record_shard_counters(counters[11], counters[12], counters[13]);
     print!("{}", metrics.render());
     println!();
     if profile {

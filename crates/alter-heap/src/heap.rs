@@ -16,14 +16,31 @@
 //! runtime re-establishing only the *invalidated* copy-on-write mappings at
 //! a round boundary instead of remapping the whole address space. Both
 //! produce bit-identical snapshot views.
+//!
+//! # Sharding
+//!
+//! Internally the heap is a fixed power-of-two array of [`HeapShard`]s, each
+//! owning its slot storage, dirty-slot journal, page-chunked snapshot cache,
+//! and a 128-bit fingerprint accumulating the write blocks committed into
+//! it. Object ids route to shards by *snapshot page*: global page
+//! `id / SNAPSHOT_PAGE_SLOTS` belongs to shard `page % shards`, so every
+//! snapshot page lives wholly inside one shard and the page partition — and
+//! therefore every snapshot-economics counter — is independent of the shard
+//! count. Validation and commit batches over distinct shards touch disjoint
+//! state by construction; [`Heap::apply_commit`] applies them in ascending
+//! shard order on the committer, which keeps commit order per shard equal to
+//! ticket order and traces byte-identical across shard counts. The default
+//! is a single shard, which is bit-for-bit the pre-sharding layout.
 
 use crate::object::{ObjData, ObjId};
+use crate::sets::{Fingerprint, SHARD_LANES};
 use std::sync::Arc;
 
 /// Slots per snapshot page. Pages are the unit of structural sharing
 /// between consecutive incremental snapshots: a page none of whose slots
 /// were dirtied since the last snapshot is reused as-is (one `Arc` bump for
-/// the whole page instead of one per slot).
+/// the whole page instead of one per slot). Pages are also the unit of
+/// shard routing, so a page never straddles two shards.
 pub const SNAPSHOT_PAGE_SLOTS: usize = 64;
 
 /// One fixed-size page of a snapshot's slot table. The array is padded
@@ -42,10 +59,15 @@ impl PageData {
         }
     }
 
-    fn from_chunk(chunk: &[Option<Arc<ObjData>>]) -> Self {
+    /// Builds one page from the slot vector starting at `lo`, tolerating
+    /// short (or absent) tails — the padding stays `None`.
+    fn from_slots_at(slots: &[Option<Arc<ObjData>>], lo: usize) -> Self {
         let mut page = PageData::empty();
-        for (dst, src) in page.slots.iter_mut().zip(chunk) {
-            *dst = src.clone();
+        if lo < slots.len() {
+            let hi = (lo + SNAPSHOT_PAGE_SLOTS).min(slots.len());
+            for (dst, src) in page.slots.iter_mut().zip(&slots[lo..hi]) {
+                *dst = src.clone();
+            }
         }
         page
     }
@@ -66,75 +88,34 @@ pub struct SnapshotStats {
     pub pages_reused: u64,
 }
 
-/// The committed memory state.
-///
-/// Sequential (non-transactional) code — program setup, the sequential parts
-/// between parallel loops, validation — accesses the heap directly through
-/// [`Heap::get`] / [`Heap::get_mut`]. Parallel loops access it only through
-/// snapshots and transactions, and mutate it only through
-/// [`Heap::apply_commit`] in deterministic commit order.
+/// One shard of the committed state: a slice of the slot table (every
+/// `shards`-th snapshot page), its versions, its dirty-slot journal, its
+/// snapshot-page cache, and a fingerprint folding in every write block
+/// committed into the shard. All indices are shard-local; only [`Heap`]
+/// knows the global routing.
 #[derive(Debug, Default)]
-pub struct Heap {
+struct HeapShard {
     slots: Vec<Option<Arc<ObjData>>>,
-    /// Commit version at which each slot was last written.
+    /// Commit version at which each local slot was last written.
     versions: Vec<u64>,
-    /// Global commit counter; bumped once per committed transaction.
-    version: u64,
-    /// Slots freed by sequential code, reusable by sequential allocation.
-    free: Vec<u32>,
     live: usize,
-    /// Total words across live allocations, maintained incrementally
-    /// (payloads are fixed-length, so only alloc/free paths move it).
     live_words: u64,
-    /// Persistent page table shared with the last incremental snapshot.
+    /// Persistent page table shared with the last incremental snapshot,
+    /// indexed by shard-local page.
     snap_pages: Vec<Page>,
-    /// Whether `snap_pages` reflects some past snapshot (false until the
-    /// first incremental snapshot, which does a full build).
-    snap_valid: bool,
-    /// Slots mutated since the last incremental snapshot, deduplicated via
-    /// `journaled`. Fed unconditionally by every mutation path — the cost
-    /// is one flag test per touch and the length is bounded by the slot
-    /// count.
+    /// Local slots mutated since the last incremental snapshot,
+    /// deduplicated via `journaled`.
     journal: Vec<u32>,
     journaled: Vec<bool>,
-    /// Monotonic snapshot epoch: bumped once per round snapshot (either
-    /// flavour). The pipelined engine stamps every ticket with the epoch it
-    /// executes against; a re-queued ticket gets the next (fresh) epoch.
-    epoch: u64,
+    /// Bloom-style accumulator over the `(object, word-block)` pairs of
+    /// every write committed into this shard (diagnostics and the sharding
+    /// invariant tests; never consulted on the validation path).
+    write_fp: Fingerprint,
 }
 
-impl Heap {
-    /// Creates an empty heap.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Allocates an object from sequential code and returns its id.
-    ///
-    /// Reuses previously freed slots (single-threaded, so reuse is
-    /// deterministic). Transactional allocation goes through
-    /// [`crate::Tx::alloc`] instead, which draws from per-worker disjoint id
-    /// reservations so concurrent transactions can never be handed the same
-    /// id (the ALTER-allocator guarantee, §4.1).
-    pub fn alloc(&mut self, data: ObjData) -> ObjId {
-        let idx = match self.free.pop() {
-            Some(idx) => idx,
-            None => {
-                let idx = u32::try_from(self.slots.len()).expect("heap exhausted");
-                self.slots.push(None);
-                self.versions.push(0);
-                idx
-            }
-        };
-        self.live_words += data.len() as u64;
-        self.slots[idx as usize] = Some(Arc::new(data));
-        self.versions[idx as usize] = self.version;
-        self.live += 1;
-        self.mark_dirty(idx as usize);
-        ObjId(idx)
-    }
-
-    /// Records that `idx` diverged from the last incremental snapshot.
+impl HeapShard {
+    /// Records that local slot `idx` diverged from the last incremental
+    /// snapshot.
     #[inline]
     fn mark_dirty(&mut self, idx: usize) {
         if idx >= self.journaled.len() {
@@ -146,21 +127,202 @@ impl Heap {
         }
     }
 
+    /// Grows the local slot table to cover local index `idx`.
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+            self.versions.resize(idx + 1, 0);
+        }
+    }
+}
+
+/// The committed memory state.
+///
+/// Sequential (non-transactional) code — program setup, the sequential parts
+/// between parallel loops, validation — accesses the heap directly through
+/// [`Heap::get`] / [`Heap::get_mut`]. Parallel loops access it only through
+/// snapshots and transactions, and mutate it only through
+/// [`Heap::apply_commit`] in deterministic commit order.
+///
+/// Storage is partitioned into a power-of-two number of [`HeapShard`]s (one
+/// by default — see the module docs); the partition is an internal layout
+/// choice and never observable through snapshots, digests, or commits.
+#[derive(Debug)]
+pub struct Heap {
+    shards: Vec<HeapShard>,
+    /// `log2(shards.len())`, cached for routing.
+    shard_bits: u32,
+    /// Global high water: number of slot ids ever issued (live or dead).
+    len: usize,
+    /// Global commit counter; bumped once per committed transaction.
+    version: u64,
+    /// Slots freed by sequential code, reusable by sequential allocation
+    /// (global ids — the free list is not sharded).
+    free: Vec<u32>,
+    /// Whether the shards' `snap_pages` reflect some past snapshot (false
+    /// until the first incremental snapshot, which does a full build).
+    snap_valid: bool,
+    /// Monotonic snapshot epoch: bumped once per round snapshot (either
+    /// flavour). The pipelined engine stamps every ticket with the epoch it
+    /// executes against; a re-queued ticket gets the next (fresh) epoch.
+    epoch: u64,
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Heap {
+            shards: vec![HeapShard::default()],
+            shard_bits: 0,
+            len: 0,
+            version: 0,
+            free: Vec::new(),
+            snap_valid: false,
+            epoch: 0,
+        }
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap (single shard).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty heap partitioned into `shards` shards (rounded to a
+    /// power of two, clamped to `1..=`[`SHARD_LANES`]).
+    pub fn with_shards(shards: usize) -> Self {
+        let mut h = Self::default();
+        h.set_shards(shards);
+        h
+    }
+
+    /// Number of shards the slot table is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `id` routes to: global snapshot page, interleaved. Every
+    /// id of one snapshot page lands in the same shard, so the page
+    /// partition (and with it every snapshot-economics counter) is
+    /// independent of the shard count.
+    #[inline]
+    pub fn shard_of(&self, id: ObjId) -> usize {
+        (id.0 as usize / SNAPSHOT_PAGE_SLOTS) & (self.shards.len() - 1)
+    }
+
+    /// Routes a global slot index to `(shard, local slot index)`.
+    #[inline]
+    fn locate(&self, idx: usize) -> (usize, usize) {
+        let page = idx / SNAPSHOT_PAGE_SLOTS;
+        let shard = page & (self.shards.len() - 1);
+        let local = ((page >> self.shard_bits) * SNAPSHOT_PAGE_SLOTS) + (idx % SNAPSHOT_PAGE_SLOTS);
+        (shard, local)
+    }
+
+    /// Re-partitions the slot table into `shards` shards (rounded to a
+    /// power of two, clamped to `1..=`[`SHARD_LANES`]). A no-op when the
+    /// count is unchanged; otherwise slots are redistributed
+    /// deterministically in ascending id order, the per-shard write
+    /// fingerprints reset, and the snapshot cache is dropped so the next
+    /// incremental snapshot does a full build — exactly the cost a fresh
+    /// heap's first snapshot pays, so snapshot accounting stays comparable
+    /// across shard counts. The committed state, versions, free list and
+    /// epoch are untouched; digests and snapshots are identical before and
+    /// after.
+    pub fn set_shards(&mut self, shards: usize) {
+        let n = shards.clamp(1, SHARD_LANES).next_power_of_two();
+        if n == self.shards.len() {
+            return;
+        }
+        let old_bits = self.shard_bits;
+        let old_mask = self.shards.len() - 1;
+        let old = std::mem::take(&mut self.shards);
+        let new_bits = n.trailing_zeros();
+        let mut shards_new: Vec<HeapShard> = (0..n).map(|_| HeapShard::default()).collect();
+        for idx in 0..self.len {
+            let page = idx / SNAPSHOT_PAGE_SLOTS;
+            let off = idx % SNAPSHOT_PAGE_SLOTS;
+            let (os, ol) = (
+                page & old_mask,
+                ((page >> old_bits) * SNAPSHOT_PAGE_SLOTS) + off,
+            );
+            let slot = old[os].slots.get(ol).cloned().flatten();
+            let ver = old[os].versions.get(ol).copied().unwrap_or(0);
+            if slot.is_none() && ver == 0 {
+                continue;
+            }
+            let (ns, nl) = (
+                page & (n - 1),
+                ((page >> new_bits) * SNAPSHOT_PAGE_SLOTS) + off,
+            );
+            let dst = &mut shards_new[ns];
+            dst.ensure(nl);
+            if let Some(obj) = slot {
+                dst.live += 1;
+                dst.live_words += obj.len() as u64;
+                dst.slots[nl] = Some(obj);
+            }
+            dst.versions[nl] = ver;
+        }
+        self.shards = shards_new;
+        self.shard_bits = new_bits;
+        self.snap_valid = false;
+    }
+
+    /// The Bloom-style accumulator over every `(object, word-block)` pair
+    /// committed into shard `shard` via [`Heap::apply_commit`]. Reset by
+    /// [`Heap::set_shards`]. Purely diagnostic: validation probes the
+    /// round's access-set fingerprints, never this one.
+    pub fn shard_write_fingerprint(&self, shard: usize) -> Fingerprint {
+        self.shards[shard].write_fp
+    }
+
+    /// Allocates an object from sequential code and returns its id.
+    ///
+    /// Reuses previously freed slots (single-threaded, so reuse is
+    /// deterministic). Transactional allocation goes through
+    /// [`crate::Tx::alloc`] instead, which draws from per-worker disjoint id
+    /// reservations so concurrent transactions can never be handed the same
+    /// id (the ALTER-allocator guarantee, §4.1).
+    pub fn alloc(&mut self, data: ObjData) -> ObjId {
+        let idx = match self.free.pop() {
+            Some(idx) => idx as usize,
+            None => {
+                let idx = self.len;
+                u32::try_from(idx).expect("heap exhausted");
+                self.len += 1;
+                idx
+            }
+        };
+        let version = self.version;
+        let (s, l) = self.locate(idx);
+        let shard = &mut self.shards[s];
+        shard.ensure(l);
+        shard.live_words += data.len() as u64;
+        shard.slots[l] = Some(Arc::new(data));
+        shard.versions[l] = version;
+        shard.live += 1;
+        shard.mark_dirty(l);
+        ObjId(idx as u32)
+    }
+
     /// Frees an object from sequential code.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not live (double free or never allocated).
     pub fn free(&mut self, id: ObjId) {
-        let slot = self
+        let (s, l) = self.locate(id.0 as usize);
+        let shard = &mut self.shards[s];
+        let slot = shard
             .slots
-            .get_mut(id.0 as usize)
+            .get_mut(l)
             .unwrap_or_else(|| panic!("free of unknown {id}"));
         let freed = slot.take().unwrap_or_else(|| panic!("double free of {id}"));
-        self.live_words -= freed.len() as u64;
+        shard.live_words -= freed.len() as u64;
+        shard.live -= 1;
+        shard.mark_dirty(l);
         self.free.push(id.0);
-        self.live -= 1;
-        self.mark_dirty(id.0 as usize);
     }
 
     /// Borrows the committed payload of `id`.
@@ -170,15 +332,21 @@ impl Heap {
     /// Panics if `id` is not live.
     #[inline]
     pub fn get(&self, id: ObjId) -> &ObjData {
-        self.slots
-            .get(id.0 as usize)
-            .and_then(|s| s.as_deref())
+        let (s, l) = self.locate(id.0 as usize);
+        self.shards[s]
+            .slots
+            .get(l)
+            .and_then(|slot| slot.as_deref())
             .unwrap_or_else(|| panic!("access to dead or unknown {id}"))
     }
 
     /// Whether `id` names a live allocation.
     pub fn is_live(&self, id: ObjId) -> bool {
-        self.slots.get(id.0 as usize).is_some_and(|s| s.is_some())
+        let (s, l) = self.locate(id.0 as usize);
+        self.shards[s]
+            .slots
+            .get(l)
+            .is_some_and(|slot| slot.is_some())
     }
 
     /// Mutably borrows the committed payload of `id` from sequential code,
@@ -188,14 +356,30 @@ impl Heap {
     ///
     /// Panics if `id` is not live.
     pub fn get_mut(&mut self, id: ObjId) -> &mut ObjData {
-        self.versions[id.0 as usize] = self.version;
-        self.mark_dirty(id.0 as usize);
-        let slot = self
+        let version = self.version;
+        let (s, l) = self.locate(id.0 as usize);
+        let shard = &mut self.shards[s];
+        if l < shard.versions.len() {
+            shard.versions[l] = version;
+        }
+        shard.mark_dirty(l);
+        let slot = shard
             .slots
-            .get_mut(id.0 as usize)
-            .and_then(|s| s.as_mut())
+            .get_mut(l)
+            .and_then(|slot| slot.as_mut())
             .unwrap_or_else(|| panic!("access to dead or unknown {id}"));
         Arc::make_mut(slot)
+    }
+
+    /// Number of global snapshot pages covering the slot table.
+    fn page_count(&self) -> usize {
+        self.len.div_ceil(SNAPSHOT_PAGE_SLOTS)
+    }
+
+    /// Number of shard-local pages shard `s` owns out of `npages` global
+    /// pages (the pages `s, s + shards, s + 2·shards, …`).
+    fn local_pages(&self, s: usize, npages: usize) -> usize {
+        npages.saturating_sub(s).div_ceil(self.shards.len())
     }
 
     /// Takes a consistent snapshot of the committed state, building the
@@ -207,13 +391,16 @@ impl Heap {
     /// entry point stays for one-shot snapshots (dependence detection,
     /// tests) and as the A/B baseline.
     pub fn snapshot(&self) -> Snapshot {
+        let npages = self.page_count();
         Snapshot {
-            pages: self
-                .slots
-                .chunks(SNAPSHOT_PAGE_SLOTS)
-                .map(|chunk| Arc::new(PageData::from_chunk(chunk)))
+            pages: (0..npages)
+                .map(|page| {
+                    let shard = &self.shards[page & (self.shards.len() - 1)];
+                    let lo = (page >> self.shard_bits) * SNAPSHOT_PAGE_SLOTS;
+                    Arc::new(PageData::from_slots_at(&shard.slots, lo))
+                })
                 .collect(),
-            len: self.slots.len(),
+            len: self.len,
             version: self.version,
         }
     }
@@ -236,65 +423,84 @@ impl Heap {
     }
 
     /// Takes a snapshot bit-identical to [`Heap::snapshot`]'s by patching
-    /// the persistent page table, in O(slots dirtied since the previous
-    /// incremental snapshot).
+    /// each shard's persistent page table, in O(slots dirtied since the
+    /// previous incremental snapshot).
     ///
-    /// The first call (and any call after [`Heap::reset_snapshot_cache`])
-    /// falls back to a full build. Clean pages are shared structurally with
-    /// the previous snapshot — one `Arc` bump per page; dirty pages are
-    /// patched slot-by-slot, copy-on-write if the previous snapshot is
-    /// still alive, in place once it has been dropped (the engine's steady
-    /// state, since a round's snapshot dies at the round barrier).
+    /// The first call (and any call after [`Heap::reset_snapshot_cache`] or
+    /// [`Heap::set_shards`]) falls back to a full build. Clean pages are
+    /// shared structurally with the previous snapshot — one `Arc` bump per
+    /// page; dirty pages are patched slot-by-slot, copy-on-write if the
+    /// previous snapshot is still alive, in place once it has been dropped
+    /// (the engine's steady state, since a round's snapshot dies at the
+    /// round barrier). Because shard routing is page-aligned, the dirty-page
+    /// partition — and both [`SnapshotStats`] counters — is identical
+    /// whatever the shard count.
     pub fn snapshot_incremental(&mut self) -> (Snapshot, SnapshotStats) {
         self.epoch += 1;
         let mut stats = SnapshotStats::default();
-        let npages = self.slots.len().div_ceil(SNAPSHOT_PAGE_SLOTS);
+        let npages = self.page_count();
+        let nshards = self.shards.len();
         if self.snap_valid {
-            debug_assert!(self.snap_pages.len() <= npages, "slots never shrink");
-            while self.snap_pages.len() < npages {
-                self.snap_pages.push(Arc::new(PageData::empty()));
+            for s in 0..nshards {
+                let local_npages = self.local_pages(s, npages);
+                let shard = &mut self.shards[s];
+                debug_assert!(shard.snap_pages.len() <= local_npages, "slots never shrink");
+                while shard.snap_pages.len() < local_npages {
+                    shard.snap_pages.push(Arc::new(PageData::empty()));
+                }
+                let mut page_dirty = vec![false; local_npages];
+                for i in 0..shard.journal.len() {
+                    let idx = shard.journal[i] as usize;
+                    let page_idx = idx / SNAPSHOT_PAGE_SLOTS;
+                    page_dirty[page_idx] = true;
+                    let page = Arc::make_mut(&mut shard.snap_pages[page_idx]);
+                    page.slots[idx % SNAPSHOT_PAGE_SLOTS] = shard.slots.get(idx).cloned().flatten();
+                    shard.journaled[idx] = false;
+                }
+                stats.slots_copied += shard.journal.len() as u64;
+                stats.pages_reused += page_dirty.iter().filter(|d| !**d).count() as u64;
+                shard.journal.clear();
             }
-            let mut page_dirty = vec![false; npages];
-            for i in 0..self.journal.len() {
-                let idx = self.journal[i] as usize;
-                let page_idx = idx / SNAPSHOT_PAGE_SLOTS;
-                page_dirty[page_idx] = true;
-                let page = Arc::make_mut(&mut self.snap_pages[page_idx]);
-                page.slots[idx % SNAPSHOT_PAGE_SLOTS] = self.slots[idx].clone();
-                self.journaled[idx] = false;
-            }
-            stats.slots_copied = self.journal.len() as u64;
-            stats.pages_reused = page_dirty.iter().filter(|d| !**d).count() as u64;
-            self.journal.clear();
         } else {
-            self.snap_pages.clear();
-            self.snap_pages.extend(
-                self.slots
-                    .chunks(SNAPSHOT_PAGE_SLOTS)
-                    .map(|chunk| Arc::new(PageData::from_chunk(chunk))),
-            );
-            stats.slots_copied = self.slots.len() as u64;
-            for i in 0..self.journal.len() {
-                let idx = self.journal[i] as usize;
-                self.journaled[idx] = false;
+            for s in 0..nshards {
+                let local_npages = self.local_pages(s, npages);
+                let shard = &mut self.shards[s];
+                shard.snap_pages.clear();
+                shard.snap_pages.extend((0..local_npages).map(|p| {
+                    Arc::new(PageData::from_slots_at(
+                        &shard.slots,
+                        p * SNAPSHOT_PAGE_SLOTS,
+                    ))
+                }));
+                for i in 0..shard.journal.len() {
+                    let idx = shard.journal[i] as usize;
+                    shard.journaled[idx] = false;
+                }
+                shard.journal.clear();
             }
-            self.journal.clear();
+            stats.slots_copied = self.len as u64;
             self.snap_valid = true;
         }
         let snap = Snapshot {
-            pages: self.snap_pages.iter().cloned().collect(),
-            len: self.slots.len(),
+            pages: (0..npages)
+                .map(|page| {
+                    self.shards[page & (nshards - 1)].snap_pages[page >> self.shard_bits].clone()
+                })
+                .collect(),
+            len: self.len,
             version: self.version,
         };
         (snap, stats)
     }
 
-    /// Drops the persistent page table; the next
+    /// Drops the persistent page tables; the next
     /// [`Heap::snapshot_incremental`] does a full build. Only useful to
     /// release memory between unrelated parallel phases.
     pub fn reset_snapshot_cache(&mut self) {
-        self.snap_pages.clear();
-        self.snap_pages.shrink_to_fit();
+        for shard in &mut self.shards {
+            shard.snap_pages.clear();
+            shard.snap_pages.shrink_to_fit();
+        }
         self.snap_valid = false;
     }
 
@@ -305,38 +511,45 @@ impl Heap {
 
     /// Commit version at which `id` was last written.
     pub fn slot_version(&self, id: ObjId) -> u64 {
-        self.versions[id.0 as usize]
+        let (s, l) = self.locate(id.0 as usize);
+        self.shards[s].versions.get(l).copied().unwrap_or(0)
     }
 
     /// Number of live allocations.
     pub fn live_objects(&self) -> usize {
-        self.live
+        self.shards.iter().map(|s| s.live).sum()
     }
 
     /// Total words across live allocations (used by the simulator's
-    /// bandwidth model and by memory-budget accounting). O(1): payloads
-    /// are fixed-length, so the counter moves only on alloc and free.
+    /// bandwidth model and by memory-budget accounting). O(shards):
+    /// payloads are fixed-length, so the per-shard counters move only on
+    /// alloc and free.
     pub fn live_words(&self) -> u64 {
+        let total: u64 = self.shards.iter().map(|s| s.live_words).sum();
         debug_assert_eq!(
-            self.live_words,
-            self.slots
+            total,
+            self.shards
                 .iter()
-                .flatten()
+                .flat_map(|s| s.slots.iter().flatten())
                 .map(|o| o.len() as u64)
                 .sum::<u64>(),
-            "live-words counter diverged from the sweep"
+            "live-words counters diverged from the sweep"
         );
-        self.live_words
+        total
     }
 
     /// First id that has never been allocated; parallel id reservations
     /// start here (see [`crate::IdReservation`]).
     pub fn high_water(&self) -> u32 {
-        u32::try_from(self.slots.len()).expect("heap exhausted")
+        u32::try_from(self.len).expect("heap exhausted")
     }
 
     /// Applies a validated transaction's effects, in deterministic commit
-    /// order, and bumps the commit version.
+    /// order, and bumps the commit version. Returns the number of distinct
+    /// shards the commit touched — the per-shard batches a partitioned
+    /// committer retires (batches over distinct shards are disjoint by
+    /// construction; they are applied here in ascending op order, which
+    /// visits shards deterministically).
     ///
     /// Only the word ranges in the transaction's write set are merged back
     /// ([`ObjData::copy_range_from`]): snapshot isolation lets two
@@ -348,13 +561,18 @@ impl Heap {
     /// Panics if an op refers to a dead object (the engine validates before
     /// committing, so this indicates a runtime bug) or an alloc id collides
     /// with a live slot (an allocator invariant violation).
-    pub fn apply_commit(&mut self, ops: CommitOps) {
+    pub fn apply_commit(&mut self, ops: CommitOps) -> u32 {
         self.version += 1;
+        let version = self.version;
+        let mut touched: u32 = 0;
         for (id, lo, hi, src) in ops.writes {
-            let slot_idx = id.0 as usize;
-            self.versions[slot_idx] = self.version;
-            self.mark_dirty(slot_idx);
-            let slot = self.slots[slot_idx]
+            let (s, l) = self.locate(id.0 as usize);
+            touched |= 1 << s;
+            let shard = &mut self.shards[s];
+            shard.versions[l] = version;
+            shard.mark_dirty(l);
+            shard.write_fp.insert_range(id, lo, hi);
+            let slot = shard.slots[l]
                 .as_mut()
                 .unwrap_or_else(|| panic!("commit write to dead {id}"));
             if lo == 0 && hi as usize == src.len() && src.len() == slot.len() {
@@ -366,35 +584,45 @@ impl Heap {
         }
         for (id, data) in ops.allocs {
             let idx = id.0 as usize;
-            if idx >= self.slots.len() {
-                self.slots.resize(idx + 1, None);
-                self.versions.resize(idx + 1, 0);
+            if idx >= self.len {
+                self.len = idx + 1;
             }
+            let (s, l) = self.locate(idx);
+            touched |= 1 << s;
+            let shard = &mut self.shards[s];
+            shard.ensure(l);
             assert!(
-                self.slots[idx].is_none(),
+                shard.slots[l].is_none(),
                 "allocator invariant violated: {id} already live at commit"
             );
-            self.live_words += data.len() as u64;
-            self.slots[idx] = Some(data);
-            self.versions[idx] = self.version;
-            self.live += 1;
-            self.mark_dirty(idx);
+            shard.live_words += data.len() as u64;
+            shard.write_fp.insert_range(id, 0, data.len().max(1) as u32);
+            shard.slots[l] = Some(data);
+            shard.versions[l] = version;
+            shard.live += 1;
+            shard.mark_dirty(l);
         }
         for id in ops.frees {
-            let slot = self.slots[id.0 as usize]
+            let (s, l) = self.locate(id.0 as usize);
+            touched |= 1 << s;
+            let shard = &mut self.shards[s];
+            let slot = shard.slots[l]
                 .take()
                 .unwrap_or_else(|| panic!("commit free of dead {id}"));
-            self.live_words -= slot.len() as u64;
+            shard.live_words -= slot.len() as u64;
             drop(slot);
-            self.live -= 1;
-            self.mark_dirty(id.0 as usize);
+            shard.live -= 1;
+            shard.mark_dirty(l);
             // Freed parallel slots are not recycled: the paper's allocator
             // also leaves holes rather than risk cross-process reuse races.
         }
+        touched.count_ones()
     }
 
     /// Returns a deterministic digest of the committed state, for
-    /// output-comparison in tests and the inference engine.
+    /// output-comparison in tests and the inference engine. Iterates in
+    /// ascending global id order, so the digest is independent of the
+    /// shard layout.
     pub fn digest(&self) -> u64 {
         // FNV-1a over (slot index, kind tag, raw words) of live slots.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -402,8 +630,11 @@ impl Heap {
             h ^= v;
             h = h.wrapping_mul(0x1000_0000_01b3);
         };
-        for (i, slot) in self.slots.iter().enumerate() {
-            let Some(obj) = slot else { continue };
+        for i in 0..self.len {
+            let (s, l) = self.locate(i);
+            let Some(obj) = self.shards[s].slots.get(l).and_then(|slot| slot.as_ref()) else {
+                continue;
+            };
             mix(i as u64);
             match obj.as_ref() {
                 ObjData::F64(v) => {
@@ -430,7 +661,9 @@ impl Heap {
 /// one snapshot. The slot table is chunked into fixed-size pages
 /// ([`SNAPSHOT_PAGE_SLOTS`]) so consecutive incremental snapshots can share
 /// clean pages structurally; page padding past [`Snapshot::slot_count`] is
-/// always `None`, so lookups need no length check.
+/// always `None`, so lookups need no length check. The page table is always
+/// assembled in global page order, so a snapshot's view is identical
+/// whatever the heap's shard count.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     pages: Arc<[Page]>,
@@ -647,45 +880,50 @@ mod tests {
 
     #[test]
     fn incremental_snapshot_matches_full_snapshot() {
-        let mut h = Heap::new();
-        let mut ids = Vec::new();
-        // Span several pages (the mutations below leave page 3 untouched).
-        for i in 0..SNAPSHOT_PAGE_SLOTS * 4 {
-            ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+        for shards in [1usize, 4, 16] {
+            let mut h = Heap::with_shards(shards);
+            let mut ids = Vec::new();
+            // Span several pages (the mutations below leave page 3 untouched).
+            for i in 0..SNAPSHOT_PAGE_SLOTS * 4 {
+                ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+            }
+            let (s0, st0) = h.snapshot_incremental();
+            assert_eq!(
+                st0.slots_copied,
+                h.high_water() as u64,
+                "first use: full build"
+            );
+            assert_snap_matches(&s0, &h);
+            drop(s0);
+
+            // Dirty a handful of slots through every mutation path.
+            h.get_mut(ids[3]).i64s_mut()[0] = -3;
+            h.free(ids[70]);
+            let reused = h.alloc(ObjData::scalar_f64(0.5)); // reuses slot 70
+            assert_eq!(reused.index(), 70);
+            h.apply_commit(CommitOps {
+                writes: vec![(ids[130], 0, 1, Arc::new(ObjData::scalar_i64(-130)))],
+                allocs: vec![(
+                    ObjId::from_index(h.high_water()),
+                    Arc::new(ObjData::zeros_f64(2)),
+                )],
+                frees: vec![ids[131]],
+            });
+
+            let (s1, st1) = h.snapshot_incremental();
+            assert_snap_matches(&s1, &h);
+            assert_eq!(
+                st1.slots_copied, 5,
+                "3, 70, 130, 131 and the new slot ({shards} shard(s))"
+            );
+            assert!(st1.pages_reused >= 1, "untouched pages must be reused");
+
+            // A clean snapshot copies nothing and reuses every page.
+            let (s2, st2) = h.snapshot_incremental();
+            assert_snap_matches(&s2, &h);
+            assert_eq!(st2.slots_copied, 0);
+            assert_eq!(st2.pages_reused, s2.pages.len() as u64);
         }
-        let (s0, st0) = h.snapshot_incremental();
-        assert_eq!(
-            st0.slots_copied,
-            h.high_water() as u64,
-            "first use: full build"
-        );
-        assert_snap_matches(&s0, &h);
-        drop(s0);
-
-        // Dirty a handful of slots through every mutation path.
-        h.get_mut(ids[3]).i64s_mut()[0] = -3;
-        h.free(ids[70]);
-        let reused = h.alloc(ObjData::scalar_f64(0.5)); // reuses slot 70
-        assert_eq!(reused.index(), 70);
-        h.apply_commit(CommitOps {
-            writes: vec![(ids[130], 0, 1, Arc::new(ObjData::scalar_i64(-130)))],
-            allocs: vec![(
-                ObjId::from_index(h.high_water()),
-                Arc::new(ObjData::zeros_f64(2)),
-            )],
-            frees: vec![ids[131]],
-        });
-
-        let (s1, st1) = h.snapshot_incremental();
-        assert_snap_matches(&s1, &h);
-        assert_eq!(st1.slots_copied, 5, "3, 70, 130, 131 and the new slot");
-        assert!(st1.pages_reused >= 1, "untouched pages must be reused");
-
-        // A clean snapshot copies nothing and reuses every page.
-        let (s2, st2) = h.snapshot_incremental();
-        assert_snap_matches(&s2, &h);
-        assert_eq!(st2.slots_copied, 0);
-        assert_eq!(st2.pages_reused, s2.pages.len() as u64);
     }
 
     #[test]
@@ -745,5 +983,152 @@ mod tests {
         assert_eq!(h.snapshot_epoch(), 2);
         let _ = h.snapshot_incremental();
         assert_eq!(h.snapshot_epoch(), 3);
+    }
+
+    /// Builds a heap with objects spread over several pages, through every
+    /// mutation path, for the sharding invariance tests below.
+    fn populated(shards: usize) -> Heap {
+        let mut h = Heap::with_shards(shards);
+        let mut ids = Vec::new();
+        for i in 0..SNAPSHOT_PAGE_SLOTS * 3 + 17 {
+            ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+        }
+        h.free(ids[5]);
+        h.free(ids[SNAPSHOT_PAGE_SLOTS + 1]);
+        h.get_mut(ids[64]).i64s_mut()[0] = -64;
+        h.apply_commit(CommitOps {
+            writes: vec![(ids[130], 0, 1, Arc::new(ObjData::scalar_i64(-130)))],
+            allocs: vec![(
+                ObjId::from_index(h.high_water() + 9),
+                Arc::new(ObjData::zeros_f64(4)),
+            )],
+            frees: vec![ids[131]],
+        });
+        h
+    }
+
+    #[test]
+    fn shard_count_is_invisible_to_digest_and_snapshots() {
+        let base = populated(1);
+        for shards in [2usize, 4, 16] {
+            let h = populated(shards);
+            assert_eq!(h.shard_count(), shards);
+            assert_eq!(h.digest(), base.digest(), "{shards} shards");
+            assert_eq!(h.live_objects(), base.live_objects());
+            assert_eq!(h.live_words(), base.live_words());
+            assert_eq!(h.high_water(), base.high_water());
+            assert_snap_matches(&h.snapshot(), &base);
+        }
+    }
+
+    #[test]
+    fn set_shards_redistributes_in_place() {
+        let mut h = populated(1);
+        let digest = h.digest();
+        let live = (h.live_objects(), h.live_words());
+        let _ = h.snapshot_incremental();
+        h.set_shards(8);
+        assert_eq!(h.shard_count(), 8);
+        assert_eq!(h.digest(), digest);
+        assert_eq!((h.live_objects(), h.live_words()), live);
+        // Re-sharding drops the snapshot cache: the next incremental
+        // snapshot is a full build, exactly like a fresh heap's first.
+        let (snap, stats) = h.snapshot_incremental();
+        assert_eq!(stats.slots_copied, h.high_water() as u64);
+        assert_snap_matches(&snap, &h);
+        // Versions survived the redistribution.
+        h.set_shards(1);
+        assert_eq!(h.shard_count(), 1);
+        assert_eq!(h.digest(), digest);
+        // Same count is a no-op (the cache survives).
+        let (_, warm) = h.snapshot_incremental();
+        h.set_shards(1);
+        let (_, again) = h.snapshot_incremental();
+        assert_eq!(
+            warm.slots_copied,
+            h.high_water() as u64,
+            "rebuild after reshard"
+        );
+        assert_eq!(again.slots_copied, 0, "no-op set_shards keeps the cache");
+    }
+
+    #[test]
+    fn snapshot_stats_are_shard_count_invariant() {
+        let mut runs = Vec::new();
+        for shards in [1usize, 4, 16] {
+            let mut h = Heap::with_shards(shards);
+            let mut ids = Vec::new();
+            for i in 0..SNAPSHOT_PAGE_SLOTS * 4 {
+                ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+            }
+            let (_, st0) = h.snapshot_incremental();
+            h.get_mut(ids[3]).i64s_mut()[0] = -3;
+            h.get_mut(ids[100]).i64s_mut()[0] = -100;
+            h.get_mut(ids[101]).i64s_mut()[0] = -101;
+            let (_, st1) = h.snapshot_incremental();
+            runs.push((st0, st1));
+        }
+        assert!(
+            runs.windows(2).all(|w| w[0] == w[1]),
+            "page-aligned routing keeps snapshot economics identical: {runs:?}"
+        );
+    }
+
+    #[test]
+    fn apply_commit_counts_touched_shards() {
+        let mut h = Heap::with_shards(4);
+        let mut ids = Vec::new();
+        for i in 0..SNAPSHOT_PAGE_SLOTS * 4 {
+            ids.push(h.alloc(ObjData::scalar_i64(i as i64)));
+        }
+        // Pages 0..4 route to shards 0..4: one write each is 4 batches.
+        let w = |i: usize| {
+            (
+                ids[i * SNAPSHOT_PAGE_SLOTS],
+                0u32,
+                1u32,
+                Arc::new(ObjData::scalar_i64(-1)),
+            )
+        };
+        let batches = h.apply_commit(CommitOps {
+            writes: vec![w(0), w(1), w(2), w(3)],
+            ..Default::default()
+        });
+        assert_eq!(batches, 4);
+        // Two writes into one page are one batch.
+        let batches = h.apply_commit(CommitOps {
+            writes: vec![w(0), w(0)],
+            ..Default::default()
+        });
+        assert_eq!(batches, 1);
+        // An empty commit touches nothing (but still bumps the version).
+        assert_eq!(h.apply_commit(CommitOps::default()), 0);
+    }
+
+    #[test]
+    fn shard_write_fingerprints_accumulate_committed_blocks() {
+        let mut h = Heap::with_shards(4);
+        let mut ids = Vec::new();
+        for _ in 0..SNAPSHOT_PAGE_SLOTS * 2 {
+            ids.push(h.alloc(ObjData::zeros_i64(4)));
+        }
+        assert!(h.shard_write_fingerprint(0).is_empty());
+        let target = ids[0]; // page 0 → shard 0
+        h.apply_commit(CommitOps {
+            writes: vec![(target, 0, 2, Arc::new(ObjData::zeros_i64(4)))],
+            ..Default::default()
+        });
+        assert!(!h.shard_write_fingerprint(0).is_empty());
+        assert_eq!(h.shard_of(target), 0);
+        let other = ids[SNAPSHOT_PAGE_SLOTS]; // page 1 → shard 1
+        assert_eq!(h.shard_of(other), 1);
+        assert!(
+            h.shard_write_fingerprint(1).is_empty(),
+            "only the written shard accumulates"
+        );
+        // The accumulated fingerprint must cover the committed block.
+        let mut probe = Fingerprint::new();
+        probe.insert_range(target, 0, 2);
+        assert!(h.shard_write_fingerprint(0).may_intersect(probe));
     }
 }

@@ -177,6 +177,16 @@ pub struct ExecParams {
     /// never break cross-driver trace identity. No effect without a
     /// recorder.
     pub trace_tickets: bool,
+    /// Number of heap shards (power of two, clamped to
+    /// `1..=`[`alter_heap::SHARD_LANES`]). `1` — the default — is bit-for-bit
+    /// the unsharded heap. At `> 1` the heap partitions its slot table by
+    /// snapshot page and validation probes the round write-set shard by
+    /// shard with word-block scans. Commit order per shard equals ticket
+    /// order, so committed state, traces and semantic statistics are
+    /// identical at every shard count; only the masked scan-economics
+    /// counters ([`crate::RunStats::shard_validate_words`] and friends)
+    /// tell the settings apart.
+    pub shards: usize,
 }
 
 impl std::fmt::Debug for ExecParams {
@@ -200,6 +210,7 @@ impl std::fmt::Debug for ExecParams {
             .field("pipelined", &self.pipelined)
             .field("pipeline_depth", &self.pipeline_depth)
             .field("trace_tickets", &self.trace_tickets)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -227,6 +238,7 @@ impl ExecParams {
             pipelined: false,
             pipeline_depth: 4,
             trace_tickets: false,
+            shards: 1,
         }
     }
 
@@ -382,6 +394,14 @@ impl ExecParams {
         self
     }
 
+    /// Builder-style: set the heap shard count (default 1; rounded to a
+    /// power of two and clamped to `1..=`[`alter_heap::SHARD_LANES`], the
+    /// same normalization [`alter_heap::Heap::set_shards`] applies).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, alter_heap::SHARD_LANES).next_power_of_two();
+        self
+    }
+
     /// Short human-readable form, e.g. `WAW/OutOfOrder cf=16 N=4`.
     pub fn describe(&self) -> String {
         format!(
@@ -466,6 +486,10 @@ mod tests {
             .with_pipeline_depth(0);
         assert!(piped.pipelined);
         assert_eq!(piped.pipeline_depth, 1, "depth clamps to 1");
+        assert_eq!(ExecParams::new(4, 16).shards, 1, "sharding is opt-in");
+        assert_eq!(ExecParams::new(4, 16).with_shards(9).shards, 16);
+        assert_eq!(ExecParams::new(4, 16).with_shards(0).shards, 1);
+        assert_eq!(ExecParams::new(4, 16).with_shards(64).shards, 16);
         assert_eq!(
             ExecParams::new(4, 16).describe(),
             "WAW/OutOfOrder cf=16 N=4"

@@ -46,6 +46,11 @@ pub struct JournalHeader {
     /// driver with `pipeline_depth = n`. Absent in pre-pipeline journals,
     /// which read back as 0.
     pub pipeline_depth: u32,
+    /// Heap shard count the run was recorded under, so replay reconstructs
+    /// the identical sharded heap. Absent in pre-sharding journals, which
+    /// read back as 1 (the unsharded layout — shard counts never change
+    /// traces, but the header keeps replay configuration-faithful).
+    pub shards: u32,
     /// Trace hash of the recorded event stream (FNV-1a over the canonical
     /// JSONL bytes, header excluded).
     pub trace_hash: u64,
@@ -65,11 +70,12 @@ impl JournalHeader {
         escape_into(&mut s, &self.annotation);
         let _ = write!(
             s,
-            "\",\"workers\":{},\"record_sets\":{},\"profile\":{},\"pipeline\":{},\"hash\":{}}}",
+            "\",\"workers\":{},\"record_sets\":{},\"profile\":{},\"pipeline\":{},\"shards\":{},\"hash\":{}}}",
             self.workers,
             self.record_sets as u8,
             self.profile_phases as u8,
             self.pipeline_depth,
+            self.shards,
             self.trace_hash
         );
         s
@@ -109,6 +115,13 @@ impl JournalHeader {
             pipeline_depth: match f.int32("pipeline") {
                 Ok(n) => n,
                 Err(msg) if msg.starts_with("missing field") => 0,
+                Err(msg) => return Err(msg),
+            },
+            // Pre-sharding journals have no `shards` field; default to the
+            // single-shard heap so old recordings stay readable.
+            shards: match f.int32("shards") {
+                Ok(n) => n,
+                Err(msg) if msg.starts_with("missing field") => 1,
                 Err(msg) => return Err(msg),
             },
             trace_hash: f.int("hash")?,
@@ -331,6 +344,7 @@ mod tests {
             record_sets: true,
             profile_phases: true,
             pipeline_depth: 0,
+            shards: 1,
             trace_hash: 0,
         }
     }
@@ -470,11 +484,13 @@ mod tests {
         h.record_sets = false;
         h.profile_phases = false;
         h.pipeline_depth = 4;
+        h.shards = 16;
         let j = Journal::new(h, run_events()).unwrap();
         let back = Journal::from_jsonl(&j.to_jsonl()).unwrap();
         assert!(!back.header().record_sets);
         assert!(!back.header().profile_phases);
         assert_eq!(back.header().pipeline_depth, 4);
+        assert_eq!(back.header().shards, 16);
         assert_eq!(back.header().workload, "genome");
         assert_eq!(back.header().workers, 4);
     }
@@ -489,6 +505,19 @@ mod tests {
         assert_eq!(back.header().pipeline_depth, 0);
         // A malformed (non-integer) pipeline field is still an error.
         let bad = j.to_jsonl().replace("\"pipeline\":0", "\"pipeline\":\"x\"");
+        assert!(Journal::from_jsonl(&bad).is_err());
+    }
+
+    #[test]
+    fn pre_sharding_headers_default_to_one_shard() {
+        // Journals written before the shards field existed must still
+        // load; a missing `shards` reads back as 1 (the unsharded heap).
+        let j = Journal::new(header(), run_events()).unwrap();
+        let text = j.to_jsonl().replace(",\"shards\":1", "");
+        let back = Journal::from_jsonl(&text).expect("old header parses");
+        assert_eq!(back.header().shards, 1);
+        // A malformed (non-integer) shards field is still an error.
+        let bad = j.to_jsonl().replace("\"shards\":1", "\"shards\":\"x\"");
         assert!(Journal::from_jsonl(&bad).is_err());
     }
 }

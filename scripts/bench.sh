@@ -42,6 +42,12 @@ echo "== pipelined committer A/B (stall units vs barrier) =="
 # ALTER_BENCH_WALL=1 adds an informational wall-clock column to the console
 # output; the JSON artifact stays pure cost units either way.
 cargo bench -p alter-bench --bench pipeline -- --json "$PWD/target/bench-pipeline.json"
+echo
+echo "== sharded heap A/B (16 shards vs unsharded) =="
+# ALTER_BENCH_WALL_SCALING=1 switches this bench to a Table-3-shaped
+# wall-clock speedup table (threaded runs at 1/2/4/8 workers) instead;
+# that mode is informational only and writes no JSON.
+cargo bench -p alter-bench --bench sharding -- --json "$PWD/target/bench-sharding.json"
 
 # Merge the deterministic summaries into the checked-in profile.
 {
@@ -53,6 +59,8 @@ cargo bench -p alter-bench --bench pipeline -- --json "$PWD/target/bench-pipelin
   cat target/bench-phases.json
   printf ',\n"pipeline":\n'
   cat target/bench-pipeline.json
+  printf ',\n"sharding":\n'
+  cat target/bench-sharding.json
   printf '}\n'
 } > BENCH_runtime.json
 

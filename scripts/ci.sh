@@ -50,12 +50,23 @@ for w in genome k-means; do
   cargo run --release -q -p alter-bench --bin alter-replay -- \
     replay "target/$w-pipeline.journal"
 done
+# Sharded-heap gate: record genome under a 16-shard heap and replay it (the
+# journal header carries the shard count, so the replay reconstructs the
+# identical sharded layout — and the trace must still be byte-identical).
+cargo run --release -q -p alter-bench --bin alter-replay -- \
+  record genome --sets --profile --shards 16 \
+  --out target/genome-sharded.journal > /dev/null
+cargo run --release -q -p alter-bench --bin alter-replay -- \
+  replay target/genome-sharded.journal
 
 echo "== phase-profile baseline (PROFILE.json drift check) =="
 # Regenerates the per-workload phase-cost baseline (pure cost units, no
 # wall-clock) and fails on any drift from the committed file.
 cargo run --release -q -p alter-bench --bin alter-replay -- \
   profile all --json PROFILE.json > /dev/null
+# The profile writer hand-rolls its JSON, so re-parse the regenerated file
+# with the strict grammar before the drift check consumes it.
+cargo run --release -q -p alter-bench --bin alter-check-json -- PROFILE.json
 if [[ -n "$(git status --porcelain -- PROFILE.json)" ]]; then
   echo "error: PROFILE.json drifted — the deterministic per-phase cost"
   echo "profile changed; inspect the diff and re-commit if intended."

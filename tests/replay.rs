@@ -150,6 +150,7 @@ fn journal_for(bench: &dyn Benchmark, events: Vec<Event>) -> Journal {
         record_sets: false,
         profile_phases: false,
         pipeline_depth: 0,
+        shards: 1,
         trace_hash: 0, // recomputed by Journal::new
     };
     Journal::new(header, events).expect("recorded stream is a valid journal")

@@ -1,21 +1,26 @@
 //! Round-mode invisibility sweep: the persistent worker pool, the
-//! incremental snapshot cache, and the ticketed pipeline committer are pure
-//! throughput optimizations, so every workload must produce a
-//! byte-identical event transcript — and therefore the same trace hash, the
-//! same program output (the heap digest each workload extracts), and the
-//! same semantic `RunStats` — across all combinations of {sequential,
-//! threaded+pool} × {incremental, full} snapshots × {lock-step, pipelined
-//! at depth 1 and 4}, at 1, 2, and 8 workers.
+//! incremental snapshot cache, the ticketed pipeline committer, and the
+//! sharded versioned heap are pure throughput optimizations, so every
+//! workload must produce a byte-identical event transcript — and therefore
+//! the same trace hash, the same program output (the heap digest each
+//! workload extracts), and the same semantic `RunStats` — across all
+//! combinations of {sequential, threaded+pool} × {incremental, full}
+//! snapshots × {lock-step, pipelined at depth 1 and 4} × heap shard counts
+//! {1, 4, 16}, at 1, 2, and 8 workers.
 //!
 //! Drive-mode bookkeeping (`pool_round_handoffs`, the ticket counters, the
 //! stall/idle telemetry — everything `RunStats::modulo_drive_mode` masks)
 //! and snapshot-economics counters (`snapshot_slots_copied`,
 //! `snapshot_pages_reused`) are the *only* fields allowed to differ;
 //! everything else in `RunStats` is part of the observable semantics and is
-//! compared exactly. Pipeline depth 1 must degenerate all the way: its
-//! *full* `RunStats` — stall model included — equals the pooled lock-step
-//! run's. Direct final-heap equality across drive modes is asserted at the
-//! engine level (`alter-runtime`'s
+//! compared exactly. Shard counts above 1 additionally move the fast-path
+//! accounting — which fingerprint probes ran and how many words the exact
+//! scans compared (`fingerprint_hits`/`rejects`, `exact_scan_words`, and
+//! the `shard_*` trio) — but never any verdict, so sharded runs compare
+//! with those counters masked on top. Pipeline depth 1 must degenerate all
+//! the way: its *full* `RunStats` — stall model included — equals the
+//! pooled lock-step run's. Direct final-heap equality across drive modes
+//! is asserted at the engine level (`alter-runtime`'s
 //! `threaded_and_sequential_drivers_are_identical`); here each workload's
 //! output is the heap projection being compared.
 
@@ -33,6 +38,7 @@ struct Mode {
     incremental: bool,
     pipelined: bool,
     depth: usize,
+    shards: usize,
 }
 
 impl Mode {
@@ -43,6 +49,7 @@ impl Mode {
             incremental,
             pipelined: false,
             depth: 1,
+            shards: 1,
         }
     }
 
@@ -53,6 +60,20 @@ impl Mode {
             incremental: true,
             pipelined: true,
             depth,
+            shards: 1,
+        }
+    }
+
+    /// The pooled lock-step driver over a sharded heap: the shard count is
+    /// the only knob turned, so any visible difference is the heap's fault.
+    const fn sharded(shards: usize) -> Mode {
+        Mode {
+            threaded: true,
+            worker_pool: true,
+            incremental: true,
+            pipelined: false,
+            depth: 1,
+            shards,
         }
     }
 }
@@ -70,6 +91,7 @@ fn traced(
     probe.incremental_snapshots = mode.incremental;
     probe.pipelined = mode.pipelined;
     probe.pipeline_depth = mode.depth;
+    probe.shards = mode.shards;
     probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
     let run = bench.run_probe(&probe).expect("probe must complete");
     let events = rec.events();
@@ -91,6 +113,23 @@ fn semantic(stats: &RunStats) -> RunStats {
     }
 }
 
+/// Additionally masks the fast-path accounting a shard count is allowed to
+/// move: which fingerprint probes ran, how many words the exact scans
+/// compared, and the shard counters themselves. Everything that remains —
+/// verdicts, retries, commits, cost units, `validate_words` — must be
+/// bit-for-bit equal across shard counts.
+fn shard_semantic(stats: &RunStats) -> RunStats {
+    RunStats {
+        fingerprint_hits: 0,
+        fingerprint_rejects: 0,
+        exact_scan_words: 0,
+        shard_validate_words: 0,
+        shard_commit_batches: 0,
+        shard_imbalance_max: 0,
+        ..semantic(stats)
+    }
+}
+
 #[test]
 fn round_modes_are_invisible_across_the_suite() {
     for bench in all_benchmarks(Scale::Inference) {
@@ -106,6 +145,8 @@ fn round_modes_are_invisible_across_the_suite() {
                 Mode::lock_step(true, true, false),
                 Mode::pipelined(1),
                 Mode::pipelined(4),
+                Mode::sharded(4),
+                Mode::sharded(16),
             ];
             let (jsonl0, hash0, out0, stats0) = traced(bench.as_ref(), workers, modes[0]);
             assert_eq!(
@@ -121,11 +162,27 @@ fn round_modes_are_invisible_across_the_suite() {
                 assert_eq!(jsonl0, jsonl, "{tag}: transcripts must be byte-identical");
                 assert_eq!(hash0, hash, "{tag}: trace hashes must agree");
                 assert_eq!(out0, out, "{tag}: program outputs must agree");
-                assert_eq!(
-                    semantic(&stats0),
-                    semantic(&stats),
-                    "{tag}: semantic RunStats must agree"
-                );
+                if mode.shards == 1 {
+                    assert_eq!(
+                        semantic(&stats0),
+                        semantic(&stats),
+                        "{tag}: semantic RunStats must agree"
+                    );
+                } else {
+                    // A sharded heap may re-shape the fast-path accounting
+                    // (per-shard probes replace the global one) but nothing
+                    // else.
+                    assert_eq!(
+                        shard_semantic(&stats0),
+                        shard_semantic(&stats),
+                        "{tag}: shard-masked RunStats must agree"
+                    );
+                    assert!(
+                        stats.shard_commit_batches >= stats0.shard_commit_batches,
+                        "{tag}: splitting the heap can only grow the number \
+                         of per-shard commit batches"
+                    );
+                }
                 assert_eq!(
                     stats.tickets_issued + stats.tickets_requeued,
                     stats.attempts,

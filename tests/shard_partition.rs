@@ -1,0 +1,143 @@
+//! Seeded property test of the shard partition of `AccessSet`: the
+//! per-shard views, fingerprints, and word-block overlap scans the sharded
+//! heap validates with must reassemble the unsharded set exactly. Fifty
+//! fixed-seed cases (SplitMix64; the workspace builds offline, without
+//! `proptest`) each check, at every power-of-two shard count up to
+//! `SHARD_LANES`:
+//!
+//! * the union of the shard views reproduces the original set range for
+//!   range (and therefore its fingerprint and word count);
+//! * the OR of the per-shard fingerprints equals the global fingerprint,
+//!   and the per-shard word counts sum to `words()`;
+//! * the OR over shards of the exact per-shard overlap verdict — both the
+//!   word-block `shard_block_overlaps` scan and the shard-view cross
+//!   product — equals the unsharded `overlaps` verdict.
+//!
+//! A failure names the case index for replay.
+
+use alter::heap::{AccessSet, Fingerprint, ObjId, RangeSet, SHARD_LANES};
+
+/// Minimal SplitMix64 for deterministic case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+}
+
+/// A random access set: a mix of clustered ids (same snapshot page, so the
+/// same shard at every count) and spread ids (distinct pages), with short
+/// word ranges that overlap another draw's ranges often enough for the
+/// conflict verdicts to exercise both answers.
+fn random_set(rng: &mut Rng) -> AccessSet {
+    let mut set = AccessSet::new();
+    for _ in 0..(1 + rng.below(40)) {
+        // Bias toward a small id universe so two independent draws collide
+        // on allocations (and words) in roughly half the cases.
+        let id = match rng.below(3) {
+            0 => rng.below(8),       // one hot page
+            1 => 64 * rng.below(64), // page-aligned spread
+            _ => rng.below(4096),    // anywhere
+        };
+        let lo = rng.below(96);
+        let hi = lo + 1 + rng.below(32);
+        set.insert(ObjId::from_index(id), lo, hi);
+    }
+    set
+}
+
+/// Canonical form for exact set equality: sorted `(id, ranges)` pairs.
+fn canon(set: &AccessSet) -> Vec<(u32, Vec<(u32, u32)>)> {
+    set.iter_sorted()
+        .into_iter()
+        .map(|(id, ranges)| (id.index(), ranges.iter().collect()))
+        .collect()
+}
+
+#[test]
+fn shard_views_partition_access_sets_at_every_count() {
+    let mut rng = Rng(0x5eed_a11e);
+    for case in 0..50 {
+        let a = random_set(&mut rng);
+        let b = random_set(&mut rng);
+        let global_verdict = a.overlaps(&b);
+        for shards in [1usize, 2, 4, 8, 16] {
+            assert!(shards <= SHARD_LANES);
+            let tag = format!("case {case}, {shards} shard(s)");
+
+            let mut union = AccessSet::new();
+            let mut fp = Fingerprint::default();
+            let mut words = 0u64;
+            let mut scan_verdict = false;
+            let mut view_verdict = false;
+            for s in 0..shards {
+                let view = a.shard_view(s, shards);
+                assert_eq!(
+                    view.fingerprint(),
+                    a.shard_fingerprint(s, shards),
+                    "{tag}: a view's fingerprint is its shard's lanes"
+                );
+                union.union_with(&view);
+                fp.union_with(a.shard_fingerprint(s, shards));
+                words += a.shard_words(s, shards);
+                scan_verdict |= a.shard_block_overlaps(&b, s, shards).0;
+                view_verdict |= view.overlaps(&b.shard_view(s, shards));
+            }
+            assert_eq!(
+                canon(&union),
+                canon(&a),
+                "{tag}: views must partition the set"
+            );
+            assert_eq!(
+                fp,
+                a.fingerprint(),
+                "{tag}: shard fingerprints must OR to the global one"
+            );
+            assert_eq!(words, a.words(), "{tag}: shard words must sum to the total");
+            assert_eq!(
+                scan_verdict, global_verdict,
+                "{tag}: per-shard block scans must reassemble the overlap verdict"
+            );
+            assert_eq!(
+                view_verdict, global_verdict,
+                "{tag}: shard-view overlaps must reassemble the overlap verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_scans_agree_with_exact_overlap() {
+    let mut rng = Rng(0xb10c_5ca9);
+    for case in 0..50 {
+        let mut a = RangeSet::new();
+        let mut b = RangeSet::new();
+        for _ in 0..(1 + rng.below(12)) {
+            let lo = rng.below(192);
+            a.insert(lo, lo + 1 + rng.below(48));
+            let lo = rng.below(192);
+            b.insert(lo, lo + 1 + rng.below(48));
+        }
+        let (hit, words) = a.block_scan(&b);
+        assert_eq!(
+            hit,
+            a.overlaps(&b),
+            "case {case}: word-block verdict must equal the exact merge scan"
+        );
+        assert!(
+            words <= a.words().min(b.words()),
+            "case {case}: a block scan never compares more words than the \
+             smaller set holds"
+        );
+    }
+}
