@@ -22,6 +22,12 @@
 //!   isolation invariants — deterministic commit order, committed
 //!   write-sets disjoint under StaleReads, validate verdicts consistent
 //!   with the recorded read/write sets.
+//! * [`check`] — a DPOR schedule-space model checker over recorded
+//!   journals: enumerate the alternative commit orders each round's
+//!   tickets could legally produce, prune Mazurkiewicz-equivalent ones
+//!   by access-set commutativity, and run the sanitizer as the
+//!   per-schedule oracle, reporting unsound rounds as bisected
+//!   [`Divergence`](alter_runtime::replay::Divergence) counterexamples.
 //!
 //! The prediction contract is deliberately one-sided: [`predict`] may
 //! return [`Verdict::Unknown`] for a probe that will fail, but must never
@@ -32,10 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod classify;
 pub mod lint;
 pub mod sanitize;
 
+pub use check::{
+    check_events, check_journal, CheckConfig, CheckReport, UnsoundRound, DEFAULT_SCHEDULE_BUDGET,
+};
 pub use classify::{classify_edge, predict, AnalyzeConfig, Breakability, Verdict};
 pub use lint::{diagnostics_json, lint, Diagnostic, LintTarget, Severity};
 pub use sanitize::{sanitize, SanitizeConfig, Violation};

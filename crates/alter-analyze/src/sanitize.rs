@@ -66,26 +66,30 @@ struct Committed {
 /// round's committed writers, in commit order: the first writer with an
 /// overlap wins, reads are checked before writes under FULL, and the
 /// conflicting word is the first in ascending (object, word) order.
-fn recompute_conflict(
+///
+/// Shared with the schedule-space model checker (`check`), which
+/// replays it under candidate commit orders — hence the borrowed
+/// `(seq, write set)` pairs rather than this module's `Committed`.
+pub(crate) fn recompute_conflict<'a>(
     policy: ConflictPolicy,
     reads: &AccessSet,
     writes: &AccessSet,
-    committed: &[Committed],
+    committed: impl IntoIterator<Item = (u64, &'a AccessSet)>,
 ) -> Option<(ConflictKind, u32, u32, u64)> {
-    for c in committed {
+    for (seq, cw) in committed {
         let raw_hit = match policy {
-            ConflictPolicy::Full | ConflictPolicy::Raw => reads.first_overlap(&c.writes),
+            ConflictPolicy::Full | ConflictPolicy::Raw => reads.first_overlap(cw),
             _ => None,
         };
         if let Some((obj, word)) = raw_hit {
-            return Some((ConflictKind::Raw, obj.index(), word, c.seq));
+            return Some((ConflictKind::Raw, obj.index(), word, seq));
         }
         let waw_hit = match policy {
-            ConflictPolicy::Full | ConflictPolicy::Waw => writes.first_overlap(&c.writes),
+            ConflictPolicy::Full | ConflictPolicy::Waw => writes.first_overlap(cw),
             _ => None,
         };
         if let Some((obj, word)) = waw_hit {
-            return Some((ConflictKind::Waw, obj.index(), word, c.seq));
+            return Some((ConflictKind::Waw, obj.index(), word, seq));
         }
     }
     None
@@ -211,9 +215,12 @@ pub fn sanitize(events: &[Event], cfg: &SanitizeConfig) -> Vec<Violation> {
                 match ev {
                     Event::ValidateOk { .. } => {
                         if let Some((r, w)) = &sets {
-                            if let Some((kind, obj, word, winner)) =
-                                recompute_conflict(cfg.conflict, r, w, &committed)
-                            {
+                            if let Some((kind, obj, word, winner)) = recompute_conflict(
+                                cfg.conflict,
+                                r,
+                                w,
+                                committed.iter().map(|c| (c.seq, &c.writes)),
+                            ) {
                                 fail(
                                     idx,
                                     format!(
@@ -253,7 +260,12 @@ pub fn sanitize(events: &[Event], cfg: &SanitizeConfig) -> Vec<Violation> {
                     } => {
                         first_failure.get_or_insert(*seq);
                         if let Some((r, w)) = &sets {
-                            match recompute_conflict(cfg.conflict, r, w, &committed) {
+                            match recompute_conflict(
+                                cfg.conflict,
+                                r,
+                                w,
+                                committed.iter().map(|c| (c.seq, &c.writes)),
+                            ) {
                                 None => fail(
                                     idx,
                                     format!(

@@ -1,0 +1,148 @@
+//! Microbenchmark of the DPOR schedule-space checker: model-checks the
+//! recorded best-annotation runs of Genome and K-means and reports the
+//! deterministic pruning economics — naive schedule count (`Σ n!` over
+//! rounds), DPOR representatives actually explored, reorderings the
+//! oracle flagged, and the words the commutativity block scans compared.
+//!
+//! Everything asserted and emitted here is deterministic (counters, not
+//! wall-clock), so the JSON summary written by `--json <path>` is stable
+//! across machines and can be checked in (`scripts/bench.sh` merges it
+//! into `BENCH_runtime.json` as the `"check"` section).
+//!
+//! The run doubles as an acceptance check: it fails if either workload's
+//! best annotation stops being schedule-sound, or if DPOR stops pruning
+//! at least 5× below naive enumeration on both workloads.
+
+use alter_analyze::{check_events, CheckConfig, CheckReport};
+use alter_infer::Probe;
+use alter_trace::{Event, Recorder, RingRecorder};
+use alter_workloads::{find_benchmark, Benchmark};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Worker count for the measured runs: wide rounds mean up to N! naive
+/// commit orders per round, which is the space DPOR prunes.
+const WORKERS: usize = 4;
+
+/// One measured workload: the best-annotation run's schedule-space audit.
+struct Measured {
+    name: &'static str,
+    annotation: String,
+    report: CheckReport,
+}
+
+/// Runs `bench` under `probe` with task-set recording and returns the
+/// captured events.
+fn recorded_run(bench: &dyn Benchmark, probe: &Probe) -> Vec<Event> {
+    let rec = Arc::new(RingRecorder::default());
+    let mut probe = probe.clone();
+    probe.record_sets = true;
+    probe.recorder = Some(rec.clone() as Arc<dyn Recorder>);
+    bench.run_probe(&probe).expect("probe must complete");
+    assert_eq!(rec.dropped(), 0, "ring must hold the whole trace");
+    rec.events()
+}
+
+/// Model-checks one workload under its best annotation.
+fn measure(name: &'static str) -> Measured {
+    let bench = find_benchmark(name).expect("workload is registered");
+    let probe = bench.best_probe(WORKERS);
+    let params = probe.model.exec_params(WORKERS, probe.chunk);
+    let events = recorded_run(bench.as_ref(), &probe);
+    let cfg = CheckConfig::new(params.conflict, params.order);
+    let report = check_events(&events, &cfg).expect("recorded stream must extract");
+
+    assert!(
+        report.sound(),
+        "{name}: best annotation unsound under an explored schedule: {:?}",
+        report.unsound.first().map(|u| u.divergence.render())
+    );
+    assert_eq!(
+        report.budget_hits, 0,
+        "{name}: schedule budget must not bite"
+    );
+    // The headline claim, checked on every run: DPOR must explore at
+    // least 5x fewer schedules than naive enumeration.
+    assert!(
+        report.explored * 5 <= report.naive_schedules,
+        "{name}: DPOR pruning below 5x: {} explored vs {} naive",
+        report.explored,
+        report.naive_schedules
+    );
+
+    println!(
+        "{name:<10} [{}] N={WORKERS}: {} rounds, {} naive schedules -> {} explored \
+         ({:.1}x pruning), {} reorderings flagged, {} scan words",
+        probe.describe(),
+        report.rounds,
+        report.naive_schedules,
+        report.explored,
+        report.naive_schedules as f64 / report.explored.max(1) as f64,
+        report.flagged,
+        report.scan_words,
+    );
+
+    Measured {
+        name,
+        annotation: probe.describe(),
+        report,
+    }
+}
+
+/// Renders the deterministic summary as pretty-printed JSON (hand-rolled;
+/// the workspace builds without `serde`).
+fn to_json(rows: &[Measured]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"workers\": {WORKERS},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let r = &m.report;
+        let ratio = r.naive_schedules as f64 / r.explored.max(1) as f64;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"annotation\": \"{}\",", m.annotation);
+        let _ = writeln!(out, "      \"rounds\": {},", r.rounds);
+        let _ = writeln!(out, "      \"tasks\": {},", r.tasks);
+        let _ = writeln!(out, "      \"naive_schedules\": {},", r.naive_schedules);
+        let _ = writeln!(out, "      \"explored\": {},", r.explored);
+        let _ = writeln!(out, "      \"pruned\": {},", r.pruned());
+        let _ = writeln!(out, "      \"pruning_ratio_x\": {ratio:.2},");
+        let _ = writeln!(out, "      \"flagged\": {},", r.flagged);
+        let _ = writeln!(out, "      \"scan_words\": {},", r.scan_words);
+        let _ = writeln!(out, "      \"sound\": {}", r.sound());
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; nothing to test here.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut json_path = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next().cloned();
+            if json_path.is_none() {
+                eprintln!("error: --json needs a path");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let rows = vec![measure("genome"), measure("k-means")];
+
+    let json = to_json(&rows);
+    if let Some(path) = json_path {
+        std::fs::write(&path, &json).expect("write JSON summary");
+        println!("wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

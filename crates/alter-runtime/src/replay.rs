@@ -145,6 +145,24 @@ impl Divergence {
         }
         out
     }
+
+    /// One-line form for listings (model-checker summaries, progress
+    /// output): the fork coordinates plus the two forked events.
+    pub fn render_oneline(&self) -> String {
+        let show = |ev: &Option<Event>| {
+            ev.as_ref()
+                .map_or_else(|| "<end of stream>".to_owned(), event_json)
+        };
+        format!(
+            "round {}, task {}, event {}: expected {} / actual {}",
+            self.round,
+            self.seq
+                .map_or_else(|| "<none>".to_owned(), |s| s.to_string()),
+            self.index,
+            show(&self.expected),
+            show(&self.actual)
+        )
+    }
 }
 
 /// Task sequence number carried by an event, if any.
@@ -386,6 +404,10 @@ mod tests {
                 let text = d.render();
                 assert!(text.contains("round 5"), "{text}");
                 assert!(text.contains("validate_words\":999"), "{text}");
+                let line = d.render_oneline();
+                assert!(!line.contains('\n'), "{line}");
+                assert!(line.contains("round 5, task 11"), "{line}");
+                assert!(line.contains("validate_words\":999"), "{line}");
             }
             other => panic!("expected divergence, got {other:?}"),
         }

@@ -48,6 +48,9 @@ echo "== sharded heap A/B (16 shards vs unsharded) =="
 # wall-clock speedup table (threaded runs at 1/2/4/8 workers) instead;
 # that mode is informational only and writes no JSON.
 cargo bench -p alter-bench --bench sharding -- --json "$PWD/target/bench-sharding.json"
+echo
+echo "== DPOR model checker (schedules explored vs naive, pruning gate) =="
+cargo bench -p alter-bench --bench check -- --json "$PWD/target/bench-check.json"
 
 # Merge the deterministic summaries into the checked-in profile.
 {
@@ -61,6 +64,8 @@ cargo bench -p alter-bench --bench sharding -- --json "$PWD/target/bench-shardin
   cat target/bench-pipeline.json
   printf ',\n"sharding":\n'
   cat target/bench-sharding.json
+  printf ',\n"check":\n'
+  cat target/bench-check.json
   printf '}\n'
 } > BENCH_runtime.json
 

@@ -32,32 +32,65 @@ if [[ -n "$(git status --porcelain -- ANALYSIS.json)" ]]; then
 fi
 
 echo "== record/replay identity (determinism gate) =="
-# Records a journal for two workloads and re-executes each under its
-# recorded configuration: the fresh event stream must be byte-identical.
-# On mismatch alter-replay bisects to the first divergent round/event and
-# prints the structured diff, which is exactly what we want in a CI log.
+# Records a journal with full task_sets + profile payloads under the given
+# extra flags and re-executes it under its recorded configuration: the
+# fresh event stream must be byte-identical. On mismatch alter-replay
+# bisects to the first divergent round/event and prints the structured
+# diff, which is exactly what we want in a CI log.
+record_and_replay() {
+  local w=$1 out=$2
+  shift 2
+  cargo run --release -q -p alter-bench --bin alter-replay -- \
+    record "$w" --sets --profile "$@" --out "$out" > /dev/null
+  cargo run --release -q -p alter-bench --bin alter-replay -- replay "$out"
+}
 # Each workload is gated twice: under the lock-step driver and under the
 # ticketed pipeline committer (the journal header carries the pipeline
 # depth, so the replay reconstructs the same driver).
 for w in genome k-means; do
-  cargo run --release -q -p alter-bench --bin alter-replay -- \
-    record "$w" --sets --profile --out "target/$w.journal" > /dev/null
-  cargo run --release -q -p alter-bench --bin alter-replay -- \
-    replay "target/$w.journal"
-  cargo run --release -q -p alter-bench --bin alter-replay -- \
-    record "$w" --sets --profile --pipeline-depth 4 \
-    --out "target/$w-pipeline.journal" > /dev/null
-  cargo run --release -q -p alter-bench --bin alter-replay -- \
-    replay "target/$w-pipeline.journal"
+  record_and_replay "$w" "target/$w.journal"
+  record_and_replay "$w" "target/$w-pipeline.journal" --pipeline-depth 4
 done
-# Sharded-heap gate: record genome under a 16-shard heap and replay it (the
-# journal header carries the shard count, so the replay reconstructs the
-# identical sharded layout — and the trace must still be byte-identical).
-cargo run --release -q -p alter-bench --bin alter-replay -- \
-  record genome --sets --profile --shards 16 \
-  --out target/genome-sharded.journal > /dev/null
-cargo run --release -q -p alter-bench --bin alter-replay -- \
-  replay target/genome-sharded.journal
+# Sharded-heap gate: the journal header carries the shard count, so the
+# replay reconstructs the identical sharded layout — and the trace must
+# still be byte-identical.
+record_and_replay genome target/genome-sharded.journal --shards 16
+
+echo "== alter-check (DPOR schedule-space model checker) =="
+# Full check of the two flagship workloads at a raised schedule budget,
+# then the 12-workload smoke that regenerates the committed CHECK.json
+# baseline (schedules explored, DPOR-pruned, per-workload soundness) for
+# the drift check below.
+cargo run --release -q -p alter-bench --bin alter-check -- \
+  check genome best --max-schedules 1024
+cargo run --release -q -p alter-bench --bin alter-check -- \
+  check k-means best --max-schedules 1024
+cargo run --release -q -p alter-bench --bin alter-check -- \
+  check all best --json CHECK.json > /dev/null
+# The check writer hand-rolls its JSON, so re-parse it with the strict
+# grammar before the drift check consumes it.
+cargo run --release -q -p alter-bench --bin alter-check-json -- CHECK.json
+if [[ -n "$(git status --porcelain -- CHECK.json)" ]]; then
+  echo "error: CHECK.json drifted — the schedule-space exploration counts"
+  echo "or a soundness verdict changed; inspect the diff and re-commit if"
+  echo "intended."
+  git --no-pager diff -- CHECK.json
+  exit 1
+fi
+# The checker must also fail when it should: k-means under DOALL is
+# deliberately unsound, and the dumped counterexample pair must diverge
+# under the replay diff bisector (both commands exit 1).
+if cargo run --release -q -p alter-bench --bin alter-check -- \
+  check k-means doall --cex target/kmeans-doall > /dev/null; then
+  echo "error: k-means under DOALL must be schedule-unsound"
+  exit 1
+fi
+if cargo run --release -q -p alter-bench --bin alter-replay -- \
+  diff target/kmeans-doall-expected.journal \
+  target/kmeans-doall-actual.journal > /dev/null; then
+  echo "error: counterexample journals must diverge under alter-replay diff"
+  exit 1
+fi
 
 echo "== phase-profile baseline (PROFILE.json drift check) =="
 # Regenerates the per-workload phase-cost baseline (pure cost units, no

@@ -157,6 +157,87 @@ fn journal_for(bench: &dyn Benchmark, events: Vec<Event>) -> Journal {
 }
 
 // ---------------------------------------------------------------------------
+// Journal header back-compat: absent pipeline/shards fields
+// ---------------------------------------------------------------------------
+
+/// Pre-PR-7 journals have no `pipeline` header field and pre-PR-8 journals
+/// no `shards`; both must keep parsing (as lock-step / one shard) and must
+/// re-serialize *canonically* — explicit fields, so one normalization pass
+/// brings any legacy journal onto the current fixed-point form.
+#[test]
+fn legacy_headers_parse_with_defaults_and_reserialize_canonically() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x0A17_E900 + seed);
+        let pipeline = (rng.next_u64() % 8) as u32;
+        let shards = 1u32 << (rng.next_u64() % 5);
+        let header = JournalHeader {
+            workload: "genome".to_owned(),
+            annotation: "best".to_owned(),
+            workers: 1 + (rng.next_u64() % 8) as u32,
+            record_sets: rng.next_u64().is_multiple_of(2),
+            profile_phases: rng.next_u64().is_multiple_of(2),
+            pipeline_depth: pipeline,
+            shards,
+            trace_hash: 0, // recomputed by Journal::new
+        };
+        let events = vec![
+            Event::RoundStart {
+                round: 0,
+                tasks: 1,
+                snapshot_slots: rng.next_u64() % 16,
+            },
+            Event::ValidateOk {
+                seq: 0,
+                validate_words: rng.next_u64() % 1000,
+            },
+            Event::Commit {
+                seq: 0,
+                read_words: 0,
+                write_words: rng.next_u64() % 1000,
+                allocs: 0,
+                frees: 0,
+            },
+            Event::RunEnd {
+                rounds: 1,
+                attempts: 1,
+                committed: 1,
+            },
+        ];
+        let journal = Journal::new(header, events).expect("valid journal");
+        let text = journal.to_jsonl();
+        let head = text.lines().next().expect("header line");
+        // The canonical header always spells both fields out...
+        assert!(
+            head.contains(&format!(",\"pipeline\":{pipeline}")),
+            "{head}"
+        );
+        assert!(head.contains(&format!(",\"shards\":{shards}")), "{head}");
+        // ...and non-default values survive a round trip.
+        let back = Journal::from_jsonl(&text).expect("canonical journal reloads");
+        assert_eq!(back.header(), journal.header(), "seed {seed}");
+
+        // A legacy header with both fields absent parses as lock-step on
+        // the unsharded heap.
+        let legacy = text
+            .replacen(&format!(",\"pipeline\":{pipeline}"), "", 1)
+            .replacen(&format!(",\"shards\":{shards}"), "", 1);
+        assert_ne!(legacy, text, "seed {seed}: fields must have been stripped");
+        let parsed = Journal::from_jsonl(&legacy).expect("legacy journal must parse");
+        assert_eq!(parsed.header().pipeline_depth, 0, "seed {seed}");
+        assert_eq!(parsed.header().shards, 1, "seed {seed}");
+
+        // Re-serializing normalizes: the defaults become explicit and the
+        // result is a fixed point of parse → serialize.
+        let canon = parsed.to_jsonl();
+        let chead = canon.lines().next().expect("header line");
+        assert!(chead.contains(",\"pipeline\":0"), "{chead}");
+        assert!(chead.contains(",\"shards\":1"), "{chead}");
+        let again = Journal::from_jsonl(&canon).expect("normalized journal reloads");
+        assert_eq!(again.to_jsonl(), canon, "seed {seed}: not a fixed point");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Journal validation: truncation, reordering, corruption
 // ---------------------------------------------------------------------------
 
