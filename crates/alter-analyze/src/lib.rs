@@ -22,6 +22,13 @@
 //!   isolation invariants — deterministic commit order, committed
 //!   write-sets disjoint under StaleReads, validate verdicts consistent
 //!   with the recorded read/write sets.
+//! * [`absint`] — the static half of the synergy: a declarative
+//!   [`LoopSpec`] IR (symbolic per-iteration accesses over the iteration
+//!   index) evaluated by an abstract interpreter under an interval ×
+//!   stride congruence domain ([`StrideInterval`]) into a
+//!   [`StaticSummary`] with two-sided per-probe verdicts
+//!   ([`StaticVerdict`]); a CI-gated [`cross_validate`] pass proves
+//!   `static ⊇ dynamic` against the replayed summary for every workload.
 //! * [`check`] — a DPOR schedule-space model checker over recorded
 //!   journals: enumerate the alternative commit orders each round's
 //!   tickets could legally produce, prune Mazurkiewicz-equivalent ones
@@ -38,11 +45,16 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod check;
 pub mod classify;
 pub mod lint;
 pub mod sanitize;
 
+pub use absint::{
+    cross_validate, interpret, static_verdict, AccessKind, AccessSpec, LoopSpec, Member, Region,
+    RegionFootprint, StaticEdge, StaticSummary, StaticVerdict, StrideInterval, Words,
+};
 pub use check::{
     check_events, check_journal, CheckConfig, CheckReport, UnsoundRound, DEFAULT_SCHEDULE_BUDGET,
 };

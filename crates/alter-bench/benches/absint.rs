@@ -1,0 +1,141 @@
+//! Microbenchmark of the static analyzer's probe economics: runs the full
+//! inference suite twice — dynamic-only pruning (PR 5's predictor) versus
+//! the combined static + dynamic tiers — and reports how many probes the
+//! abstract interpreter's two-sided verdicts eliminate per workload.
+//!
+//! Everything asserted and emitted here is deterministic (probe counters,
+//! not wall-clock), so the JSON summary written by `--json <path>` is
+//! stable across machines and can be checked in (`scripts/bench.sh`
+//! merges it into `BENCH_runtime.json` as the `"absint"` section).
+//!
+//! The run doubles as an acceptance check: it fails if the static tier
+//! stops skipping at least 10 probes suite-wide, or if static pruning
+//! changes any workload's inferred annotations.
+
+use alter_infer::{infer, InferConfig};
+use alter_workloads::{all_benchmarks, Scale};
+use std::fmt::Write as _;
+
+/// One workload's probe economics under the two pruning configurations.
+struct Measured {
+    name: String,
+    probes_dynamic: u64,
+    probes_combined: u64,
+    static_skips: usize,
+    /// `class` of each statically decided candidate, e.g.
+    /// `"TLS: proved unsound: o.o.m."`.
+    skipped: Vec<String>,
+}
+
+fn measure_all() -> Vec<Measured> {
+    let combined_cfg = InferConfig::default();
+    let dynamic_cfg = InferConfig {
+        static_prune: false,
+        ..InferConfig::default()
+    };
+    let mut rows = Vec::new();
+    for b in all_benchmarks(Scale::Inference) {
+        let name = b.name().to_owned();
+        let combined = infer(b.as_ref(), &combined_cfg);
+        let dynamic = infer(b.as_ref(), &dynamic_cfg);
+
+        assert_eq!(
+            combined.valid_annotations, dynamic.valid_annotations,
+            "{name}: static pruning changed the inferred annotations"
+        );
+        assert_eq!(
+            dynamic.probes_run - combined.probes_run,
+            combined.static_pruned.len() as u64,
+            "{name}: every static skip saves exactly one probe"
+        );
+
+        println!(
+            "{name:<12} {:>2} probes -> {:>2} ({} statically skipped)",
+            dynamic.probes_run,
+            combined.probes_run,
+            combined.static_pruned.len()
+        );
+        rows.push(Measured {
+            name,
+            probes_dynamic: dynamic.probes_run,
+            probes_combined: combined.probes_run,
+            static_skips: combined.static_pruned.len(),
+            skipped: combined
+                .static_pruned
+                .iter()
+                .map(|pc| format!("{}: {}", pc.annotation, pc.reason))
+                .collect(),
+        });
+    }
+    rows
+}
+
+/// Renders the deterministic summary as pretty-printed JSON (hand-rolled;
+/// the workspace builds without `serde`).
+fn to_json(rows: &[Measured]) -> String {
+    let total_dynamic: u64 = rows.iter().map(|m| m.probes_dynamic).sum();
+    let total_combined: u64 = rows.iter().map(|m| m.probes_combined).sum();
+    let total_skips: usize = rows.iter().map(|m| m.static_skips).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"probes_dynamic_only\": {total_dynamic},");
+    let _ = writeln!(out, "  \"probes_combined\": {total_combined},");
+    let _ = writeln!(out, "  \"static_skips\": {total_skips},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"probes_dynamic_only\": {},", m.probes_dynamic);
+        let _ = writeln!(out, "      \"probes_combined\": {},", m.probes_combined);
+        let _ = writeln!(out, "      \"static_skips\": {},", m.static_skips);
+        let skipped: Vec<String> = m.skipped.iter().map(|s| format!("\"{s}\"")).collect();
+        let _ = writeln!(out, "      \"skipped\": [{}]", skipped.join(", "));
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; nothing to test here.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut json_path = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next().cloned();
+            if json_path.is_none() {
+                eprintln!("error: --json needs a path");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let rows = measure_all();
+
+    // The headline claim, checked on every run: the static tier must
+    // eliminate at least 10 probes across the suite.
+    let total_skips: usize = rows.iter().map(|m| m.static_skips).sum();
+    assert!(
+        total_skips >= 10,
+        "static tier skipped only {total_skips} probes suite-wide (need >= 10)"
+    );
+    println!(
+        "suite: {} probes -> {} ({} statically skipped)",
+        rows.iter().map(|m| m.probes_dynamic).sum::<u64>(),
+        rows.iter().map(|m| m.probes_combined).sum::<u64>(),
+        total_skips
+    );
+
+    let json = to_json(&rows);
+    if let Some(path) = json_path {
+        std::fs::write(&path, &json).expect("write JSON summary");
+        println!("wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

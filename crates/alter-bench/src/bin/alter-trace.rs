@@ -14,6 +14,7 @@
 //! `--twice` executes the same probe a second time and verifies the two
 //! JSONL transcripts are byte-identical.
 
+use alter_analyze::absint::{interpret, ALLOC_REGION};
 use alter_infer::{Model, Probe};
 use alter_trace::{
     format_hash, to_jsonl, trace_hash, Event, Metrics, Profile, Recorder, RingRecorder, WallProfile,
@@ -67,7 +68,8 @@ flags:
                Dep column for all twelve
   --list       list workload names and exit";
 
-/// `--deps` for one workload: the full rendered summary plus the Dep cell.
+/// `--deps` for one workload: the full rendered summary, the Dep cell, and
+/// the static analyzer's coverage of each observed edge.
 fn print_deps(bench: &dyn Benchmark) {
     let summary = bench.probe_summary();
     let dep = summary.report();
@@ -80,26 +82,94 @@ fn print_deps(bench: &dyn Benchmark) {
         dep.waw,
         dep.war
     );
+    let Some(spec) = bench.loop_spec() else {
+        println!("static: no LoopSpec declared");
+        return;
+    };
+    let st = interpret(&spec);
+    println!();
+    println!(
+        "static vs dynamic ({} symbolic edge(s) from the LoopSpec):",
+        st.edges.len()
+    );
+    // Each observed edge should be proved by a symbolic one (the
+    // `static ⊇ dynamic` contract CI enforces); an uncovered edge means
+    // the spec under-declares.
+    for e in &summary.edges {
+        let status = if st.covers_edge(&spec, e) {
+            "proved"
+        } else {
+            "OBSERVED ONLY (spec under-declares!)"
+        };
+        println!(
+            "  {} obj {:>4} word {:>6} dist [{}, {}]  {status}",
+            e.kind.as_str(),
+            u64::from(e.obj.index()),
+            e.word,
+            e.min_dist,
+            e.max_dist
+        );
+    }
+    // Symbolic edges nothing dynamic landed on: sound over-approximation.
+    for se in &st.edges {
+        let observed = summary.edges.iter().any(|e| {
+            let region = spec
+                .region_of(e.obj)
+                .unwrap_or(if spec.is_loop_local(e.obj) {
+                    ALLOC_REGION
+                } else {
+                    usize::MAX - 1
+                });
+            e.kind == se.kind && region == se.region
+        });
+        if !observed {
+            let region = if se.region == ALLOC_REGION {
+                "loop-local allocations"
+            } else {
+                spec.regions[se.region].name
+            };
+            println!(
+                "  {} region `{region}` dist [{}, {}]  static only",
+                se.kind.as_str(),
+                se.dist.lo,
+                se.dist.hi
+            );
+        }
+    }
 }
 
-/// `--deps` with no workload: the paper's Table 3 Dep column.
+/// `--deps` with no workload: the paper's Table 3 Dep column, plus how
+/// much of each observed edge set the static analyzer proves.
 fn print_deps_table() {
     println!("Table 3 Dep column (loop-carried dependences):");
     println!(
-        "  {:<12} {:<5} {:<5} {:<5} {:<5} edges",
-        "Benchmark", "Dep", "RAW", "WAW", "WAR"
+        "  {:<12} {:<5} {:<5} {:<5} {:<5} {:<7} static",
+        "Benchmark", "Dep", "RAW", "WAW", "WAR", "edges"
     );
     for b in all_benchmarks(Scale::Inference) {
         let summary = b.probe_summary();
         let dep = summary.report();
+        let coverage = match b.loop_spec() {
+            None => "no spec".to_owned(),
+            Some(spec) => {
+                let st = interpret(&spec);
+                let proved = summary
+                    .edges
+                    .iter()
+                    .filter(|e| st.covers_edge(&spec, e))
+                    .count();
+                format!("{proved}/{} proved", summary.edges.len())
+            }
+        };
         println!(
-            "  {:<12} {:<5} {:<5} {:<5} {:<5} {}",
+            "  {:<12} {:<5} {:<5} {:<5} {:<5} {:<7} {}",
             b.name(),
             if dep.any() { "Yes" } else { "No" },
             dep.raw,
             dep.waw,
             dep.war,
-            summary.edges.len()
+            summary.edges.len(),
+            coverage
         );
     }
 }

@@ -63,6 +63,13 @@ impl AlterHashSet {
         self.buckets
     }
 
+    /// The directory object mapping bucket index to bucket [`ObjId`]
+    /// (immutable after construction; used by static loop specs to
+    /// enumerate the bucket allocations).
+    pub fn directory(&self) -> ObjId {
+        self.directory
+    }
+
     fn bucket_of(&self, key: i64) -> usize {
         (mix(key) % self.buckets as u64) as usize
     }

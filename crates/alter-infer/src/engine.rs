@@ -8,7 +8,7 @@
 
 use crate::outcome::Outcome;
 use crate::target::{InferTarget, Model, Probe, ProgramOutput};
-use alter_analyze::{predict, AnalyzeConfig, Verdict};
+use alter_analyze::{interpret, predict, static_verdict, AnalyzeConfig, StaticVerdict, Verdict};
 use alter_runtime::{quiet::quiet_panics, DepReport, RedOp, RunError, WorkerPool};
 use alter_trace::{Event, Phase, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,8 +45,16 @@ pub struct InferConfig {
     /// annotations are reported valid — the analyzer's verdicts are
     /// one-sided — only how many probes actually run; see
     /// [`InferReport::pruned_candidates`]. Off re-enables the paper's
-    /// exhaustive search, for A/B comparison.
+    /// exhaustive search, for A/B comparison (and also disables the static
+    /// tier below — `prune: false` means exhaustive).
     pub prune: bool,
+    /// Consult the abstract interpreter's two-sided verdicts before the
+    /// dynamic predictor (on by default; requires `prune` and a target
+    /// that provides [`InferTarget::loop_spec`]). Candidates it proves
+    /// safe or unsound skip their probes entirely — no replay, no
+    /// execution — and are counted in [`InferReport::static_pruned`].
+    /// Off isolates PR 5's dynamic-only pruning, for A/B comparison.
+    pub static_prune: bool,
     /// Emit phase-profile events (off by default). Each probe's engine run
     /// emits per-round phase costs, and the inference driver adds one
     /// `infer_probe` entry per executed probe (its total cost units, keyed
@@ -66,6 +74,7 @@ impl std::fmt::Debug for InferConfig {
             .field("recorder", &self.recorder.as_ref().map(|r| r.is_enabled()))
             .field("concurrent_probes", &self.concurrent_probes)
             .field("prune", &self.prune)
+            .field("static_prune", &self.static_prune)
             .field("profile_phases", &self.profile_phases)
             .finish()
     }
@@ -82,6 +91,7 @@ impl Default for InferConfig {
             recorder: None,
             concurrent_probes: true,
             prune: true,
+            static_prune: true,
             profile_phases: false,
         }
     }
@@ -132,9 +142,17 @@ pub struct InferReport {
     pub reductions: Vec<ReductionResult>,
     /// Annotation strings that preserved the program output.
     pub valid_annotations: Vec<String>,
-    /// Candidates skipped because the analyzer proved they must fail
-    /// (empty when pruning is off or the target provides no summary).
+    /// Candidates skipped because the dynamic predictor proved they must
+    /// fail (empty when pruning is off or the target provides no summary).
     pub pruned_candidates: Vec<PrunedCandidate>,
+    /// Candidates skipped on the abstract interpreter's two-sided proofs —
+    /// both proved-safe candidates (recorded as successes, so they still
+    /// appear in [`InferReport::valid_annotations`]) and proved-unsound
+    /// ones. Empty when static pruning is off or the target provides no
+    /// [`InferTarget::loop_spec`]. Disjoint from
+    /// [`InferReport::pruned_candidates`]: the static tier is consulted
+    /// first and a statically-decided probe never reaches the predictor.
+    pub static_pruned: Vec<PrunedCandidate>,
     /// Number of candidate probes actually executed (pruned candidates
     /// excluded; the internal sequential-cost replay is not counted).
     pub probes_run: u64,
@@ -282,42 +300,83 @@ fn run_probes(
     })
 }
 
-/// Resolves a batch of planned `(probe, verdict)` pairs: probes the
-/// analyzer could not rule out are run (in batch order, through the
-/// serial/concurrent scheduler), must-fail probes are skipped and their
-/// predicted outcome recorded in `pruned`.
+/// How one planned candidate will be resolved.
+enum Plan {
+    /// Neither tier proved anything — execute the probe.
+    Run,
+    /// The dynamic predictor proved the probe must fail (always a
+    /// must-fail [`Verdict`] by construction).
+    Dyn(Verdict),
+    /// The abstract interpreter proved the outcome in either direction;
+    /// the string is the human-readable proof.
+    Static(Outcome, String),
+}
+
+impl Plan {
+    /// Wraps a dynamic-predictor verdict: `Unknown` means "just run it".
+    fn from_dynamic(verdict: Verdict) -> Plan {
+        if verdict.must_fail() {
+            Plan::Dyn(verdict)
+        } else {
+            Plan::Run
+        }
+    }
+}
+
+/// Mutable pruning ledger threaded through the candidate batches: how many
+/// probes actually executed, and what each tier skipped.
+#[derive(Default)]
+struct PruneLedger {
+    probes_run: u64,
+    pruned: Vec<PrunedCandidate>,
+    static_pruned: Vec<PrunedCandidate>,
+}
+
+/// Resolves a batch of planned `(probe, plan)` pairs: probes neither tier
+/// could rule on are run (in batch order, through the serial/concurrent
+/// scheduler); statically-proved probes record their proved outcome in
+/// `ledger.static_pruned`, dynamically-must-fail probes their predicted
+/// outcome in `ledger.pruned`.
 fn resolve_batch(
     target: &(dyn InferTarget + Sync),
     reference: &ProgramOutput,
-    planned: &[(Probe, Verdict)],
+    planned: &[(Probe, Plan)],
     cfg: &InferConfig,
-    probes_run: &mut u64,
-    pruned: &mut Vec<PrunedCandidate>,
+    ledger: &mut PruneLedger,
     probe_index: &AtomicU64,
 ) -> Vec<Outcome> {
     let live: Vec<Probe> = planned
         .iter()
-        .filter(|(_, v)| !v.must_fail())
+        .filter(|(_, plan)| matches!(plan, Plan::Run))
         .map(|(p, _)| p.clone())
         .collect();
-    *probes_run += live.len() as u64;
+    ledger.probes_run += live.len() as u64;
     let mut live_outcomes = run_probes(target, reference, &live, cfg, probe_index).into_iter();
     planned
         .iter()
-        .map(|(probe, verdict)| {
-            let outcome = match verdict {
-                Verdict::Unknown => {
-                    return live_outcomes.next().expect("one outcome per live probe")
-                }
-                Verdict::OutOfMemory { .. } => Outcome::OutOfMemory,
-                Verdict::HighConflicts { .. } => Outcome::HighConflicts,
-            };
-            pruned.push(PrunedCandidate {
-                annotation: probe.describe(),
-                outcome: outcome.clone(),
-                reason: verdict.to_string(),
-            });
-            outcome
+        .map(|(probe, plan)| match plan {
+            Plan::Run => live_outcomes.next().expect("one outcome per live probe"),
+            Plan::Dyn(verdict) => {
+                let outcome = match verdict {
+                    Verdict::OutOfMemory { .. } => Outcome::OutOfMemory,
+                    Verdict::HighConflicts { .. } => Outcome::HighConflicts,
+                    Verdict::Unknown => unreachable!("Plan::Dyn holds must-fail verdicts only"),
+                };
+                ledger.pruned.push(PrunedCandidate {
+                    annotation: probe.describe(),
+                    outcome: outcome.clone(),
+                    reason: verdict.to_string(),
+                });
+                outcome
+            }
+            Plan::Static(outcome, reason) => {
+                ledger.static_pruned.push(PrunedCandidate {
+                    annotation: probe.describe(),
+                    outcome: outcome.clone(),
+                    reason: reason.clone(),
+                });
+                outcome.clone()
+            }
         })
         .collect()
 }
@@ -327,7 +386,11 @@ fn resolve_batch(
 /// bounded reduction search over the target's candidate variables and the
 /// six operators. When [`InferConfig::prune`] is on and the target provides
 /// a dependence summary, each candidate is first shown to the static
-/// analyzer and skipped if it is proven to fail.
+/// analyzer and skipped if it is proven to fail; with
+/// [`InferConfig::static_prune`] also on and a [`InferTarget::loop_spec`]
+/// available, the abstract interpreter rules first and can skip probes in
+/// *both* directions (proved safe as well as proved unsound) without any
+/// replay.
 pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferReport {
     let reference = target.run_sequential();
     let seq_cost = sequential_cost(target, cfg);
@@ -351,6 +414,13 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         budget_words,
         ..AnalyzeConfig::default()
     };
+    // The static tier: the abstract interpreter's summary of the target's
+    // declared loop spec, evaluated once and consulted per model probe.
+    let static_summary = if cfg.prune && cfg.static_prune {
+        target.loop_spec().map(|spec| interpret(&spec))
+    } else {
+        None
+    };
     // The analyzer's verdict for one candidate, or `Unknown` ("just run
     // it") when pruning is off. A reduction candidate is only simulated
     // when the summary knows which heap object the variable labels — the
@@ -371,8 +441,38 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         let params = model.exec_params(cfg.workers, cfg.chunk);
         predict(&summary, params.conflict, params.order, &elide, &acfg)
     };
-    let mut probes_run: u64 = 0;
-    let mut pruned_candidates: Vec<PrunedCandidate> = Vec::new();
+    // Resolution plan for one candidate: the static tier rules first (its
+    // proofs are two-sided and need no replay), the dynamic predictor
+    // second. Reduction candidates are left to the dynamic tier — the
+    // spec's reduction accesses describe the *unannotated* loop, so the
+    // static verdict does not transfer once the variable is privatised.
+    let plan_for = |model: Model, reduction: Option<&(String, RedOp)>| -> Plan {
+        if reduction.is_none() {
+            if let Some(st) = &static_summary {
+                let params = model.exec_params(cfg.workers, cfg.chunk);
+                match static_verdict(st, params.conflict, &acfg) {
+                    StaticVerdict::ProvedSafe => {
+                        return Plan::Static(
+                            Outcome::Success,
+                            "statically proved safe: no loop-carried dependences, \
+                             chunk footprint within budget"
+                                .to_owned(),
+                        );
+                    }
+                    StaticVerdict::ProvedUnsound(v) => {
+                        let outcome = match &v {
+                            Verdict::HighConflicts { .. } => Outcome::HighConflicts,
+                            _ => Outcome::OutOfMemory,
+                        };
+                        return Plan::Static(outcome, format!("statically proved unsound: {v}"));
+                    }
+                    StaticVerdict::Unknown => {}
+                }
+            }
+        }
+        Plan::from_dynamic(verdict_for(model, reduction))
+    };
+    let mut ledger = PruneLedger::default();
     let probe_index = AtomicU64::new(0);
     let make_probe = |model: Model, reduction: Option<(String, RedOp)>| {
         let mut probe = Probe::new(model, cfg.workers, cfg.chunk);
@@ -384,17 +484,16 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         probe
     };
 
-    let model_probes: Vec<(Probe, Verdict)> = Model::TABLE3
+    let model_probes: Vec<(Probe, Plan)> = Model::TABLE3
         .into_iter()
-        .map(|m| (make_probe(m, None), verdict_for(m, None)))
+        .map(|m| (make_probe(m, None), plan_for(m, None)))
         .collect();
     let mut model_outcomes = resolve_batch(
         target,
         &reference,
         &model_probes,
         cfg,
-        &mut probes_run,
-        &mut pruned_candidates,
+        &mut ledger,
         &probe_index,
     )
     .into_iter();
@@ -410,8 +509,11 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
     }
 
     // "A search for a valid reduction is performed only if none of the
-    // annotations of the form (P, ε) are valid" (§5). Pruned model probes
-    // keep the gate firing: their recorded outcomes are failures.
+    // annotations of the form (P, ε) are valid" (§5). Dynamically-pruned
+    // model probes keep the gate firing (their recorded outcomes are
+    // failures); a statically-proved-safe probe suppresses it exactly as
+    // its real execution would, because its recorded outcome is the
+    // success the probe was proved to produce.
     let mut reductions = Vec::new();
     if !out_of_order.is_success() && !stale_reads.is_success() {
         let mut red_probes = Vec::new();
@@ -420,8 +522,8 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
             for op in RedOp::ALL {
                 for model in [Model::OutOfOrder, Model::StaleReads] {
                     let reduction = (var.clone(), op);
-                    let verdict = verdict_for(model, Some(&reduction));
-                    red_probes.push((make_probe(model, Some(reduction)), verdict));
+                    let plan = plan_for(model, Some(&reduction));
+                    red_probes.push((make_probe(model, Some(reduction)), plan));
                     red_meta.push((model, var.clone(), op));
                 }
             }
@@ -431,8 +533,7 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
             &reference,
             &red_probes,
             cfg,
-            &mut probes_run,
-            &mut pruned_candidates,
+            &mut ledger,
             &probe_index,
         );
         for (((model, var, op), (probe, _)), outcome) in
@@ -458,7 +559,8 @@ pub fn infer(target: &(dyn InferTarget + Sync), cfg: &InferConfig) -> InferRepor
         stale_reads,
         reductions,
         valid_annotations,
-        pruned_candidates,
-        probes_run,
+        pruned_candidates: ledger.pruned,
+        static_pruned: ledger.static_pruned,
+        probes_run: ledger.probes_run,
     }
 }

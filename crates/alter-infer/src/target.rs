@@ -5,6 +5,7 @@
 //! candidate configurations, a dependence check, and the list of scalar
 //! variables a reduction annotation could name.
 
+use alter_analyze::absint::LoopSpec;
 use alter_runtime::{DepReport, ExecParams, LoopSummary, RedOp, RedVars, RunError, RunStats};
 use alter_sim::SimClock;
 use alter_trace::Recorder;
@@ -356,6 +357,16 @@ pub trait InferTarget {
     /// under TLS/OutOfOrder, §7.1) model their machine's capacity here;
     /// `None` uses the engine default.
     fn tracked_budget_words(&self) -> Option<u64> {
+        None
+    }
+
+    /// The declarative symbolic description of the target loop's accesses
+    /// (see [`alter_analyze::absint::LoopSpec`]), over the same
+    /// deterministic heap [`InferTarget::probe_summary`] replays. `None`
+    /// (the default) disables the static pruning tier for this target; a
+    /// provided spec is held to the `static ⊇ dynamic` contract by the
+    /// cross-validation gate in `tests/absint.rs`.
+    fn loop_spec(&self) -> Option<LoopSpec> {
         None
     }
 }

@@ -14,6 +14,7 @@
 //! sets and succeeds.
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_collections::AlterList;
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
@@ -309,6 +310,50 @@ impl InferTarget for AggloClust {
             ctx.tx.write_f64(obj, SZ, me.2); // touch own cluster
         };
         summarize_dependences(&mut heap, &mut SeqSpace::new(nodes), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let mut heap = Heap::new();
+        let list: AlterList<ObjId> = AlterList::new(&mut heap);
+        let mut clusters = Vec::new();
+        for (x, y) in self.points() {
+            let obj = heap.alloc(ObjData::F64(vec![x, y, 1.0, 0.0]));
+            list.push_back(&mut heap, obj);
+            clusters.push(obj);
+        }
+        let nodes: Vec<ObjId> = list
+            .node_ids(&heap)
+            .into_iter()
+            .map(|raw| ObjId::from_index(raw as u32))
+            .collect();
+        let mut spec = LoopSpec::new(nodes.len() as u64, heap.high_water());
+        // The nearest-neighbour scan reads every node's value word and
+        // every cluster's coordinates each iteration — the unconditional
+        // whole-region read set whose tracked footprint provably exceeds
+        // the budget under RAW policies (§7.1's out-of-memory crash) —
+        // while only the iteration's own cluster is written.
+        let node_r = spec.region("nodes", nodes, 3);
+        spec.access(
+            node_r,
+            Member::All,
+            Words::Range { lo: 0, hi: 1 },
+            AccessKind::Read,
+        );
+        let clus_r = spec.region("clusters", clusters, 4);
+        spec.access(
+            clus_r,
+            Member::All,
+            Words::Range { lo: 0, hi: 3 },
+            AccessKind::Read,
+        );
+        spec.access(
+            clus_r,
+            Member::Each,
+            Words::Range { lo: 2, hi: 3 },
+            AccessKind::Write,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -9,6 +9,7 @@
 //! every model succeeds and the speedup is near-linear (Figure 13).
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_collections::AlterList;
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
@@ -272,6 +273,42 @@ impl InferTarget for BarnesHut {
             });
         };
         summarize_dependences(&mut heap, &mut SeqSpace::new(nodes), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let mut heap = Heap::new();
+        let list: AlterList<ObjId> = AlterList::new(&mut heap);
+        let mut bodies = Vec::new();
+        for b in self.initial_bodies().into_iter().take(64) {
+            let obj = heap.alloc(ObjData::F64(b.to_vec()));
+            list.push_back(&mut heap, obj);
+            bodies.push(obj);
+        }
+        let nodes: Vec<ObjId> = list
+            .node_ids(&heap)
+            .into_iter()
+            .map(|raw| ObjId::from_index(raw as u32))
+            .collect();
+        let mut spec = LoopSpec::new(nodes.len() as u64, heap.high_water());
+        // Iteration i reads its own list node's value word and updates its
+        // own body's [x, y, vx, vy] — both ordinal-injective, no carried
+        // dependences (Table 3: Dep = No).
+        let node_r = spec.region("nodes", nodes, 3);
+        spec.access(
+            node_r,
+            Member::Each,
+            Words::Range { lo: 0, hi: 1 },
+            AccessKind::Read,
+        );
+        let body_r = spec.region("bodies", bodies, 5);
+        spec.access(
+            body_r,
+            Member::Each,
+            Words::Range { lo: 0, hi: 4 },
+            AccessKind::Update,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -11,6 +11,7 @@
 //! < 1).
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -222,6 +223,29 @@ impl InferTarget for Fft {
             .collect();
         let body = self.body(&row_objs);
         summarize_dependences(&mut heap, &mut RangeSpace::new(0, self.rows as u64), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let mut heap = Heap::new();
+        let rows: Vec<ObjId> = self
+            .input()
+            .iter()
+            .map(|row| heap.alloc(ObjData::F64(row.clone())))
+            .collect();
+        let width = (2 * self.cols) as u32;
+        let mut spec = LoopSpec::new(self.rows as u64, heap.high_water());
+        // Each iteration FFTs its own interleaved row in place — the whole
+        // row is read and rewritten, but rows are ordinal-injective, so no
+        // iteration touches another's (Table 3: Dep = No).
+        let r = spec.region("rows", rows, width);
+        spec.access(
+            r,
+            Member::Each,
+            Words::Range { lo: 0, hi: width },
+            AccessKind::Update,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -19,6 +19,7 @@
 //! serialize.
 
 use crate::common::{rng, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -180,6 +181,42 @@ impl InferTarget for Floyd {
         let path = heap.alloc(ObjData::F64(self.edges()));
         let body = self.body(path);
         summarize_dependences(&mut heap, &mut RangeSpace::new(0, self.n as u64), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let n = self.n as u64;
+        let nn = (self.n * self.n) as u32;
+        let mut heap = Heap::new();
+        let path = heap.alloc(ObjData::F64(self.edges()));
+        let mut spec = LoopSpec::new(n, heap.high_water());
+        let path_r = spec.region("path", vec![path], nn);
+        // Iteration k reads row k (the affine pivot window) and scans every
+        // row; improvement writes land on data-dependent cells anywhere in
+        // the matrix.
+        spec.access(
+            path_r,
+            Member::At(0),
+            Words::Affine {
+                scale: n,
+                offset: 0,
+                width: self.n as u32,
+            },
+            AccessKind::Read,
+        );
+        spec.access(
+            path_r,
+            Member::At(0),
+            Words::Range { lo: 0, hi: nn },
+            AccessKind::Read,
+        );
+        spec.access_if(
+            path_r,
+            Member::At(0),
+            Words::Unknown { bound: nn },
+            AccessKind::Write,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

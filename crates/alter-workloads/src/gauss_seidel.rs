@@ -25,6 +25,7 @@
 //! reads free); the solution vector `X` is one heap allocation.
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -287,6 +288,44 @@ impl InferTarget for GaussSeidel {
         let xvec = heap.alloc(ObjData::zeros_f64(sys.n()));
         let body = self.body(&sys, xvec);
         summarize_dependences(&mut heap, &mut RangeSpace::new(0, sys.n() as u64), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let n = self.n as u32;
+        let mut heap = Heap::new();
+        let xvec = heap.alloc(ObjData::zeros_f64(self.n));
+        let mut spec = LoopSpec::new(self.n as u64, heap.high_water());
+        let x_r = spec.region("x", vec![xvec], n);
+        // Dense rows scan the whole solution vector; sparse rows read only
+        // their (data-dependent) nonzero columns. Either way iteration i
+        // blind-writes its own slot X[i] — the Figure 1 RAW chain with
+        // provably disjoint writes.
+        match self.nnz {
+            None => spec.access(
+                x_r,
+                Member::At(0),
+                Words::Range { lo: 0, hi: n },
+                AccessKind::Read,
+            ),
+            Some(_) => spec.access(
+                x_r,
+                Member::At(0),
+                Words::Unknown { bound: n },
+                AccessKind::Read,
+            ),
+        }
+        spec.access(
+            x_r,
+            Member::At(0),
+            Words::Affine {
+                scale: 1,
+                offset: 0,
+                width: 1,
+            },
+            AccessKind::Write,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -10,8 +10,9 @@
 //! dependence-carrying loop), at slightly lower speed than OutOfOrder.
 
 use crate::common::{rng, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_collections::AlterHashSet;
-use alter_heap::Heap;
+use alter_heap::{Heap, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
     summarize_dependences, LoopSummary, RangeSpace, RedOp, RedVars, RunError, RunStats, TxCtx,
@@ -136,6 +137,57 @@ impl InferTarget for Genome {
             &mut RangeSpace::new(0, stream.len() as u64),
             body,
         )
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let mut heap = Heap::new();
+        let set = AlterHashSet::new(&mut heap, self.buckets, self.bucket_cap);
+        let buckets: Vec<ObjId> = heap
+            .get(set.directory())
+            .i64s()
+            .iter()
+            .map(|&raw| ObjId::from_i64(raw))
+            .collect();
+        let bucket_words = (2 + self.bucket_cap.max(1)) as u32;
+        let mut spec = LoopSpec::new(self.segments as u64, heap.high_water());
+        // Each insert hashes to one data-dependent bucket: a directory
+        // read, a whole-bucket read, and a conditional write of the
+        // count/key/overflow words. Overflow chains are allocated mid-loop.
+        let dir_r = spec.region(
+            "directory",
+            vec![set.directory()],
+            set.bucket_count() as u32,
+        );
+        spec.access(
+            dir_r,
+            Member::At(0),
+            Words::Unknown {
+                bound: set.bucket_count() as u32,
+            },
+            AccessKind::Read,
+        );
+        let buck_r = spec.region("buckets", buckets, bucket_words);
+        spec.access(
+            buck_r,
+            Member::Some,
+            Words::Range {
+                lo: 0,
+                hi: bucket_words,
+            },
+            AccessKind::Read,
+        );
+        spec.access_if(
+            buck_r,
+            Member::Some,
+            Words::Range {
+                lo: 0,
+                hi: bucket_words,
+            },
+            AccessKind::Write,
+        );
+        spec.allocates();
+        Some(spec)
     }
 }
 

@@ -8,6 +8,7 @@
 //! near-linear (Figure 13).
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -179,6 +180,38 @@ impl InferTarget for Hmm {
         let next = heap.alloc(ObjData::zeros_f64(n));
         let body = self.body(&a, &b, obs[0], cur, next);
         summarize_dependences(&mut heap, &mut RangeSpace::new(0, n as u64), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let n = self.states;
+        let mut heap = Heap::new();
+        let cur = heap.alloc(ObjData::F64(vec![1.0 / n as f64; n]));
+        let next = heap.alloc(ObjData::zeros_f64(n));
+        let words = n as u32;
+        let mut spec = LoopSpec::new(n as u64, heap.high_water());
+        // Iteration s reads the whole previous alpha vector (loop-invariant
+        // within a step) and blind-writes its own slot next[s] — injective
+        // affine writes, no carried dependences (Table 3: Dep = No).
+        let cur_r = spec.region("alpha", vec![cur], words);
+        spec.access(
+            cur_r,
+            Member::At(0),
+            Words::Range { lo: 0, hi: words },
+            AccessKind::Read,
+        );
+        let next_r = spec.region("alpha-next", vec![next], words);
+        spec.access(
+            next_r,
+            Member::At(0),
+            Words::Affine {
+                scale: 1,
+                offset: 0,
+                width: 1,
+            },
+            AccessKind::Write,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -30,6 +30,7 @@
 //! remain.
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -335,6 +336,54 @@ impl InferTarget for KMeans {
         );
         s.label("delta", delta.object());
         s
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let nf = self.nfeatures as u32;
+        let mut heap = Heap::new();
+        let mut reds = RedVars::new();
+        let feats = self.alloc_features(&mut heap, &self.features());
+        let membership = heap.alloc(ObjData::I64(vec![-1; self.npoints]));
+        let accs: Vec<ObjId> = (0..self.nclusters)
+            .map(|_| heap.alloc(ObjData::zeros_f64(self.nfeatures + 1)))
+            .collect();
+        let delta = BoundScalar::declare(&mut heap, &mut reds, "delta", RedVal::F64(0.0));
+        let mut spec = LoopSpec::new(self.npoints as u64, heap.high_water());
+        // Iteration i reads its own feature object and read-writes its own
+        // membership slot (both injective); the data-dependent cluster
+        // accumulator update and the `delta += 1.0` reduction are the
+        // conflict-carrying accesses.
+        let feats_r = spec.region("features", feats, nf);
+        spec.access(
+            feats_r,
+            Member::Each,
+            Words::Range { lo: 0, hi: nf },
+            AccessKind::Read,
+        );
+        let mem_r = spec.region("membership", vec![membership], self.npoints as u32);
+        let own_slot = Words::Affine {
+            scale: 1,
+            offset: 0,
+            width: 1,
+        };
+        spec.access(mem_r, Member::At(0), own_slot, AccessKind::Read);
+        spec.access(mem_r, Member::At(0), own_slot, AccessKind::Write);
+        let delta_r = spec.labeled_region("delta", delta.object(), "delta");
+        spec.access_if(
+            delta_r,
+            Member::At(0),
+            Words::Range { lo: 0, hi: 1 },
+            AccessKind::Reduce(RedOp::Add),
+        );
+        let accs_r = spec.region("accumulators", accs, nf + 1);
+        spec.access(
+            accs_r,
+            Member::Some,
+            Words::Range { lo: 0, hi: nf + 1 },
+            AccessKind::Update,
+        );
+        Some(spec)
     }
 
     fn reduction_candidates(&self) -> Vec<String> {

@@ -9,6 +9,7 @@
 //! is an `ALTERVector` as in the paper (Table 2).
 
 use crate::common::{rng, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_collections::AlterVec;
 use alter_heap::Heap;
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
@@ -227,6 +228,31 @@ impl InferTarget for Labyrinth {
             &mut RangeSpace::new(0, requests.len() as u64),
             body,
         )
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let len = (self.width * self.height * self.depth) as u32;
+        let mut heap = Heap::new();
+        let grid: AlterVec<i64> = AlterVec::new(&mut heap, self.width * self.height * self.depth);
+        let mut spec = LoopSpec::new(self.paths as u64, heap.high_water());
+        // Every route BFSes over a snapshot of the whole grid, then claims
+        // the (data-dependent) cells of the path it found — the
+        // all-overlapping shape no model can break.
+        let grid_r = spec.region("grid", vec![grid.object()], len);
+        spec.access(
+            grid_r,
+            Member::At(0),
+            Words::Range { lo: 0, hi: len },
+            AccessKind::Read,
+        );
+        spec.access_if(
+            grid_r,
+            Member::At(0),
+            Words::Unknown { bound: len },
+            AccessKind::Write,
+        );
+        Some(spec)
     }
 
     fn validate(&self, reference: &ProgramOutput, candidate: &ProgramOutput) -> bool {

@@ -16,6 +16,7 @@
 //! iterations; Figure 11 shows the slowdown).
 
 use crate::common::{rng, uniform_f64s, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -253,6 +254,40 @@ impl InferTarget for Sg3d {
             summarize_dependences(&mut heap, &mut RangeSpace::new(0, cells.len() as u64), body);
         s.label("err", err.object());
         s
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let words = (self.n * self.n * self.n) as u32;
+        let mut heap = Heap::new();
+        let mut reds = RedVars::new();
+        let grid = heap.alloc(ObjData::zeros_f64(self.n * self.n * self.n));
+        let err = BoundScalar::declare(&mut heap, &mut reds, "err", RedVal::F64(0.0));
+        let mut spec = LoopSpec::new(self.interior().len() as u64, heap.high_water());
+        // The shuffled sweep order makes the stencil's 27-point neighbour
+        // window and own-cell write data-dependent per ordinal; the error
+        // maximum is the one shared scalar, updated every iteration.
+        let grid_r = spec.region("grid", vec![grid], words);
+        spec.access(
+            grid_r,
+            Member::At(0),
+            Words::Unknown { bound: words },
+            AccessKind::Read,
+        );
+        spec.access(
+            grid_r,
+            Member::At(0),
+            Words::Unknown { bound: words },
+            AccessKind::Write,
+        );
+        let err_r = spec.labeled_region("err", err.object(), "err");
+        spec.access(
+            err_r,
+            Member::At(0),
+            Words::Range { lo: 0, hi: 1 },
+            AccessKind::Reduce(RedOp::Max),
+        );
+        Some(spec)
     }
 
     fn reduction_candidates(&self) -> Vec<String> {

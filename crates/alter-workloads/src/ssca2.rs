@@ -11,6 +11,7 @@
 //! paper's footnote.
 
 use crate::common::{rng, Benchmark, Scale};
+use alter_analyze::absint::{AccessKind, LoopSpec, Member, Words};
 use alter_heap::{Heap, ObjData, ObjId};
 use alter_infer::{InferTarget, Model, Probe, ProbeRun, ProgramOutput};
 use alter_runtime::{
@@ -173,6 +174,33 @@ impl InferTarget for Ssca2 {
             .collect();
         let body = self.body(&edges, &adj);
         summarize_dependences(&mut heap, &mut RangeSpace::new(0, edges.len() as u64), body)
+    }
+
+    fn loop_spec(&self) -> Option<LoopSpec> {
+        // Mirror `probe_summary`'s heap construction so ObjIds line up.
+        let words = (SLOTS + self.cap) as u32;
+        let mut heap = Heap::new();
+        let adj: Vec<ObjId> = (0..self.vertices)
+            .map(|_| heap.alloc(ObjData::zeros_i64(SLOTS + self.cap)))
+            .collect();
+        let mut spec = LoopSpec::new(self.edges as u64, heap.high_water());
+        // Each edge read-modify-writes its tail vertex's adjacency object:
+        // a degree read, then (below capacity) a slot and degree write —
+        // the vertex is data-dependent on the edge list.
+        let adj_r = spec.region("adjacency", adj, words);
+        spec.access(
+            adj_r,
+            Member::Some,
+            Words::Range { lo: 0, hi: 1 },
+            AccessKind::Read,
+        );
+        spec.access_if(
+            adj_r,
+            Member::Some,
+            Words::Unknown { bound: words },
+            AccessKind::Write,
+        );
+        Some(spec)
     }
 }
 

@@ -51,6 +51,9 @@ cargo bench -p alter-bench --bench sharding -- --json "$PWD/target/bench-shardin
 echo
 echo "== DPOR model checker (schedules explored vs naive, pruning gate) =="
 cargo bench -p alter-bench --bench check -- --json "$PWD/target/bench-check.json"
+echo
+echo "== static analyzer probe economics (skips >= 10 gate) =="
+cargo bench -p alter-bench --bench absint -- --json "$PWD/target/bench-absint.json"
 
 # Merge the deterministic summaries into the checked-in profile.
 {
@@ -66,6 +69,8 @@ cargo bench -p alter-bench --bench check -- --json "$PWD/target/bench-check.json
   cat target/bench-sharding.json
   printf ',\n"check":\n'
   cat target/bench-check.json
+  printf ',\n"absint":\n'
+  cat target/bench-absint.json
   printf '}\n'
 } > BENCH_runtime.json
 

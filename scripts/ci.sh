@@ -12,8 +12,8 @@ cargo fmt --all --check
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== build --release =="
-cargo build --release
+echo "== build --release (warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo build --release
 
 echo "== test (workspace) =="
 cargo test --workspace --quiet
@@ -24,10 +24,28 @@ echo "== alter-lint (isolation sanitizer over all 12 canonical traces) =="
 # violation is a hard failure), and regenerates the static analyzer's
 # verdict baseline for the drift check below.
 cargo run --release -q -p alter-bench --bin alter-lint -- --analysis ANALYSIS.json
+# The baseline writer hand-rolls its JSON, so re-parse it with the strict
+# grammar before the drift check consumes it.
+cargo run --release -q -p alter-bench --bin alter-check-json -- ANALYSIS.json
 if [[ -n "$(git status --porcelain -- ANALYSIS.json)" ]]; then
   echo "error: ANALYSIS.json drifted — the analyzer's dependence/annotation"
   echo "verdicts changed; inspect the diff and re-commit if intended."
   git --no-pager diff -- ANALYSIS.json
+  exit 1
+fi
+
+echo "== alter-absint (static ⊇ dynamic cross-validation over all 12 specs) =="
+# Interprets every workload's declared LoopSpec under the interval × stride
+# domain and proves the abstract summary covers the dynamic replay — any
+# under-declared access or missed edge is a hard failure — then regenerates
+# the static verdict baseline for the drift check below.
+cargo run --release -q -p alter-bench --bin alter-absint -- --json STATIC.json
+cargo run --release -q -p alter-bench --bin alter-check-json -- STATIC.json
+if [[ -n "$(git status --porcelain -- STATIC.json)" ]]; then
+  echo "error: STATIC.json drifted — the abstract interpreter's symbolic"
+  echo "summaries or static verdicts changed; inspect the diff and"
+  echo "re-commit if intended."
+  git --no-pager diff -- STATIC.json
   exit 1
 fi
 

@@ -83,15 +83,18 @@ fn pruning_preserves_the_inferred_annotations_on_all_workloads() {
         );
         assert_eq!(pruned.dep, exhaustive.dep, "{name}");
         assert!(exhaustive.pruned_candidates.is_empty(), "{name}");
+        assert!(exhaustive.static_pruned.is_empty(), "{name}");
 
-        // Cost: strictly fewer probes exactly when something was pruned.
-        if pruned.pruned_candidates.is_empty() {
+        // Cost: strictly fewer probes exactly when something was pruned —
+        // by the static tier, the dynamic predictor, or both.
+        if pruned.pruned_candidates.is_empty() && pruned.static_pruned.is_empty() {
             assert_eq!(pruned.probes_run, exhaustive.probes_run, "{name}");
         } else {
             assert!(
                 pruned.probes_run < exhaustive.probes_run,
-                "{name}: {} pruned candidates but {} vs {} probes",
+                "{name}: {} dynamic + {} static pruned candidates but {} vs {} probes",
                 pruned.pruned_candidates.len(),
+                pruned.static_pruned.len(),
                 pruned.probes_run,
                 exhaustive.probes_run
             );
@@ -99,7 +102,8 @@ fn pruning_preserves_the_inferred_annotations_on_all_workloads() {
         }
 
         // Soundness: a must-fail verdict never contradicts an observed
-        // pass — every pruned candidate fails when actually run.
+        // pass — every dynamically pruned candidate fails when actually
+        // run.
         let observed = observed_outcomes(&exhaustive);
         for pc in &pruned.pruned_candidates {
             let o = observed.get(&pc.annotation).unwrap_or_else(|| {
@@ -115,10 +119,33 @@ fn pruning_preserves_the_inferred_annotations_on_all_workloads() {
                 pc.reason
             );
         }
+        // The static tier's verdicts are two-sided: a ProvedSafe skip must
+        // correspond to an observed success, a ProvedUnsound skip to an
+        // observed failure.
+        for pc in &pruned.static_pruned {
+            let o = observed.get(&pc.annotation).unwrap_or_else(|| {
+                panic!(
+                    "{name}: statically pruned candidate {} not in the exhaustive report",
+                    pc.annotation
+                )
+            });
+            assert_eq!(
+                o.is_success(),
+                pc.outcome.is_success(),
+                "{name}: {} statically recorded as {} ({}) but observed {}",
+                pc.annotation,
+                pc.outcome,
+                pc.reason,
+                o
+            );
+        }
     }
+    // Dynamic tier: K-means, Labyrinth, GSdense, GSsparse, Floyd, SG3D;
+    // static tier adds BarnesHut, FFT, HMM (proved safe) and AggloClust
+    // (proved o.o.m.). Only Genome and SSCA2 run everything.
     assert!(
-        workloads_with_pruning >= 4,
-        "analyzer proved failures on only {workloads_with_pruning} of 12 workloads"
+        workloads_with_pruning >= 10,
+        "the two tiers pruned on only {workloads_with_pruning} of 12 workloads"
     );
 }
 
